@@ -1,0 +1,41 @@
+"""Benchmark scaffolding.
+
+Each benchmark regenerates one of the paper's tables/figures on the shared
+benchmark topology (size controlled by ``REPRO_BENCH_PREFIXES``, default
+4096), times it via pytest-benchmark, prints the paper-style rendering, and
+saves it under ``results/`` so EXPERIMENTS.md can be checked against fresh
+output.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.experiments import ExperimentContext
+
+RESULTS_DIR = pathlib.Path(__file__).resolve().parent.parent / "results"
+
+
+@pytest.fixture(scope="session")
+def context() -> ExperimentContext:
+    return ExperimentContext.for_bench()
+
+
+@pytest.fixture(scope="session")
+def save_result():
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def _save(name: str, text: str) -> None:
+        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n",
+                                                 encoding="utf-8")
+        print(f"\n{text}")
+
+    return _save
+
+
+def run_once(benchmark, func, *args, **kwargs):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(func, args=args, kwargs=kwargs, rounds=1,
+                              iterations=1)

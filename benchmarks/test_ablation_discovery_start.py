@@ -1,0 +1,25 @@
+"""Ablation (paper §5.4): discovery-optimized starting-TTL policy.
+
+The paper proposes replacing the uniform random starting TTL of extra scans
+with one guided by the measured route length ('alternative routes may not
+drastically change the route length — saving seven backward probes').
+"""
+
+from conftest import run_once
+from repro.experiments import run_discovery_start_ablation
+
+
+def test_ablation_discovery_start(benchmark, context, save_result):
+    result = run_once(benchmark, run_discovery_start_ablation, context,
+                      extra_scans=3)
+    save_result("ablation_discovery_start", result.render())
+
+    rows = {row[0]: row for row in result.rows}
+    uniform = rows["uniform [1,32]"]
+    guided = rows["length-guided"]
+
+    # The guided policy must not waste more extra-scan probes than uniform.
+    assert guided[2] <= uniform[2] * 1.05
+
+    # Both policies discover a comparable union of interfaces.
+    assert guided[1] > 0.95 * uniform[1]

@@ -1,0 +1,28 @@
+"""Ablation (paper §5.4 future work): the proximity-span parameter.
+
+The default span of 5 is 'rather arbitrary'; this sweep quantifies the
+coverage/accuracy/probe-cost trade-off the authors propose to study.
+"""
+
+from conftest import run_once
+from repro.experiments import run_proximity_span_ablation
+
+SPANS = (0, 1, 2, 3, 5, 8, 13)
+
+
+def test_ablation_proximity_span(benchmark, context, save_result):
+    result = run_once(benchmark, run_proximity_span_ablation, context,
+                      spans=SPANS)
+    save_result("ablation_proximity_span", result.render())
+
+    coverage = {row[0]: float(row[1].rstrip("%")) for row in result.rows}
+
+    # Coverage grows monotonically with the span.
+    for low, high in zip(SPANS, SPANS[1:]):
+        assert coverage[high] >= coverage[low]
+
+    # Span 5 captures most of what span 13 does: diminishing returns.
+    assert coverage[5] > 0.6 * coverage[13]
+
+    # Span 0 means measured-only coverage.
+    assert coverage[0] < coverage[5]

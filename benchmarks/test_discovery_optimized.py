@@ -1,0 +1,32 @@
+"""§5.2: discovery-optimized FlashRoute.
+
+Paper: a FlashRoute-32 scan plus three source-port-varied extra scans takes
+56 minutes at 100 Kpps and discovers 865,339 interfaces — 35,952 more than
+the simulated Yarrp-32-UDP finds in the same time.
+"""
+
+from conftest import run_once
+from repro.experiments import run_discovery_experiment
+
+
+def test_discovery_optimized(benchmark, context, save_result):
+    result = run_once(benchmark, run_discovery_experiment, context,
+                      extra_scans=3)
+    save_result("discovery_optimized", result.render())
+
+    discovery = result.discovery
+    union = len(discovery.interfaces())
+
+    # The extra scans add interfaces beyond the main scan.
+    assert union > discovery.main.interface_count()
+
+    # And the union beats the exhaustive single-flow Yarrp-UDP simulation:
+    # the port variation reaches load-balancer branches one flow cannot.
+    assert union > result.yarrp_udp_sim.interface_count()
+
+    # The whole mode still costs fewer probes than two exhaustive scans.
+    assert discovery.total_probes() < 2 * result.yarrp_udp_sim.probes_sent
+
+    # Each extra scan is much cheaper than the main scan.
+    for extra in discovery.extras:
+        assert extra.probes_sent < discovery.main.probes_sent

@@ -1,0 +1,23 @@
+"""Figure 3: accuracy of the one-probe hop-distance measurement.
+
+Paper values: the measured distance equals the traceroute triggering TTL for
+~89.7 % of routes, is within one hop for a further ~7 %, and differs by more
+than one hop (middlebox TTL normalization) for ~3.3 %.
+"""
+
+from conftest import run_once
+from repro.experiments import run_fig3
+
+
+def test_fig3_distance_accuracy(benchmark, context, save_result):
+    result = run_once(benchmark, run_fig3, context)
+    save_result("fig3_distance_accuracy", result.render())
+
+    distribution = result.distribution
+    assert distribution.samples > 50, "too few responsive targets to judge"
+
+    # ~90 % exact, ~97 % within one hop, small but nonzero far tail.
+    assert distribution.fraction_exact() > 0.80
+    assert distribution.fraction_within(1) > 0.92
+    assert distribution.fraction_within(1) < 1.0, \
+        "middlebox TTL normalization should leave a >1-hop tail"

@@ -1,0 +1,27 @@
+"""Figure 4: accuracy of proximity-span hop-distance prediction.
+
+Paper values (span 5): 59.1 % of predictions equal the traceroute-measured
+distance and a further 25.4 % are within one hop (84.5 % cumulative);
+~89.5 % of measured blocks have another measured block within the span.
+"""
+
+from conftest import run_once
+from repro.experiments import run_fig3, run_fig4
+
+
+def test_fig4_prediction_accuracy(benchmark, context, save_result):
+    fig3 = run_fig3(context)
+    result = run_once(benchmark, run_fig4, context, fig3=fig3)
+    save_result("fig4_prediction_accuracy", result.render())
+
+    distribution = result.distribution
+    assert distribution.samples > 50
+
+    # Predictions are right roughly 6 times in 10 and within one hop more
+    # than 8 times in 10 — good enough to be a useful hint, far from exact.
+    assert 0.40 < distribution.fraction_exact() < 0.85
+    assert distribution.fraction_within(1) > 0.75
+    # Prediction is distinctly less accurate than direct measurement.
+    assert distribution.fraction_exact() < fig3.distribution.fraction_exact()
+    # Most measured blocks can donate to a neighbour.
+    assert result.neighbourhood_coverage > 0.6

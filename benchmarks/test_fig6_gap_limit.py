@@ -1,0 +1,34 @@
+"""Figure 6: discovered interfaces and scan time vs GapLimit.
+
+Paper shape: scan time grows roughly linearly with the gap limit while the
+number of discovered interfaces flattens once the gap limit reaches ~5 —
+which is why 5 is the default (re-validating Scamper's default).
+"""
+
+from conftest import run_once
+from repro.experiments import run_fig6
+
+GAPS = (0, 1, 2, 3, 4, 5, 6, 7, 8)
+
+
+def test_fig6_gap_limit(benchmark, context, save_result):
+    result = run_once(benchmark, run_fig6, context, gap_limits=GAPS)
+    save_result("fig6_gap_limit", result.render())
+
+    interfaces = result.interfaces_series()
+    times = result.time_series()
+
+    # Interfaces grow monotonically (allowing tiny jitter) with gap limit...
+    for low, high in zip(GAPS, GAPS[1:]):
+        assert interfaces[high] >= interfaces[low] * 0.995
+
+    # ...with the big jumps early and a flat tail after 5:
+    early_gain = interfaces[5] - interfaces[0]
+    late_gain = interfaces[8] - interfaces[5]
+    assert early_gain > 5 * max(late_gain, 1)
+
+    # Scan time keeps growing past the knee (the cost of large gaps).
+    assert times[8] > times[5] > times[2] > times[0]
+
+    # Gap 0 (no forward probing) loses a substantial share of interfaces.
+    assert interfaces[0] < 0.9 * interfaces[5]

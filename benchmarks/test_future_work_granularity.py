@@ -1,0 +1,39 @@
+"""The paper's §5.4 open question, answered in simulation.
+
+"Which approach is more productive for finding those additional internal
+paths (i.e., extending the initial targets to one per /28 or
+discovery-optimized mode with varying target addresses) is an interesting
+question for future work."
+
+Both approaches are implemented; this benchmark runs them against the same
+topology and records the trade-off: finer granularity discovers the most
+interior interfaces but pays exponentially in probes and control-state
+memory; destination-varying discovery mode recovers a large share of them
+at a fraction of both costs.
+"""
+
+from conftest import run_once
+from repro.experiments import run_granularity_future_work
+
+
+def test_future_work_granularity(benchmark, context, save_result):
+    result = run_once(benchmark, run_granularity_future_work, context,
+                      fine_granularity=26, extra_scans=3)
+    save_result("future_work_granularity", result.render())
+
+    rows = {row[0]: row for row in result.rows}
+    baseline = rows["baseline one-per-/24"]
+    fine = rows["one-per-/26"]
+    varied = rows["discovery + varying dst (3 extras)"]
+
+    # Both proposals beat the baseline on interfaces found.
+    assert fine[1] > baseline[1]
+    assert varied[1] > baseline[1]
+
+    # Fine granularity is the most complete...
+    assert fine[1] >= varied[1]
+    # ...but destination variation is more probe-efficient (interfaces per
+    # thousand probes) and needs no extra control-state memory.
+    assert varied[3] > fine[3]
+    assert varied[4] == baseline[4]
+    assert fine[4] != baseline[4]

@@ -1,0 +1,27 @@
+"""§4.2.2's trade-off: FlashRoute-32's routes have fewer holes.
+
+Paper: "while both configurations find the same total number of
+*interfaces*, the *routes* discovered by FlashRoute-32 will have fewer
+holes" — FlashRoute-16 overprobes more and loses more responses; an
+experimenter wanting the most complete per-destination routes should pick
+FlashRoute-32 with preprobing.
+"""
+
+from conftest import run_once
+from repro.experiments import run_route_holes
+
+
+def test_route_holes(benchmark, context, save_result):
+    result = run_once(benchmark, run_route_holes, context)
+    save_result("route_holes", result.render())
+
+    fr16_holes = result.holes("FlashRoute-16")
+    fr32_holes = result.holes("FlashRoute-32")
+
+    # FlashRoute-32's routes are more complete.
+    assert fr32_holes < fr16_holes
+
+    # While the interface totals stay within a few percent of each other.
+    interfaces = {tool: count for tool, _h, count, _p in result.rows}
+    low, high = min(interfaces.values()), max(interfaces.values())
+    assert low > 0.96 * high

@@ -1,0 +1,35 @@
+"""Table 1: impact of redundancy elimination during backward probing.
+
+Paper values (full /24 IPv4 space, 100 Kpps):
+
+    Split-TTL  Removal  Interfaces  Probes        Scan time
+    32         On       805,472     164,882,469   27:54.19
+    32         Off      826,701     338,063,800   56:36.14
+    16         On       814,801     101,314,451   17:16.94
+    16         Off      817,509     257,983,117   43:33.55
+
+Shape targets: removal cuts probes and time by half or more at both split
+TTLs, at the cost of a small (< 5 %) interface loss.
+"""
+
+from conftest import run_once
+from repro.experiments import run_table1
+
+
+def test_table1_redundancy(benchmark, context, save_result):
+    result = run_once(benchmark, run_table1, context)
+    save_result("table1_redundancy", result.render())
+
+    def row(split, removal):
+        return next(r for r in result.rows
+                    if r[0] == split and r[1] == removal)
+
+    for split in (32, 16):
+        on = row(split, "On")
+        off = row(split, "Off")
+        # Redundancy elimination reduces probes by at least 40 %.
+        assert on[3] < 0.6 * off[3]
+        # Interface loss from early termination stays small.
+        assert on[2] > 0.93 * off[2]
+    # Split 16 with removal is the cheapest configuration.
+    assert row(16, "On")[3] == min(r[3] for r in result.rows)

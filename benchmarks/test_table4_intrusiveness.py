@@ -1,0 +1,45 @@
+"""Table 4: interface overprobing (scan intrusiveness).
+
+Paper values (probe timelines at 100 Kpps replayed on the Scamper topology,
+500 responses/s/interface limit):
+
+    Tool                        Overprobed Interfaces   Dropped Probes
+    FlashRoute-16               5,746                   14,569,275
+    FlashRoute-32               3,091                    8,312,385
+    Yarrp-32                    9,895                   53,813,793
+    Yarrp-32 3-hop protection   9,903                   53,792,883
+    Yarrp-32 6-hop protection   9,886                   53,364,491
+
+Shape targets: both FlashRoute configurations overprobe fewer interfaces and
+drop far fewer probes than Yarrp-32; FlashRoute-32 is the least intrusive;
+neighborhood protection does not materially reduce Yarrp's overprobing.
+"""
+
+from conftest import run_once
+from repro.experiments import run_table4
+
+
+def test_table4_intrusiveness(benchmark, context, save_result):
+    result = run_once(benchmark, run_table4, context)
+    save_result("table4_intrusiveness", result.render())
+
+    rows = {row[0]: (row[1], row[2]) for row in result.rows}
+    fr16_over, fr16_drop = rows["FlashRoute-16"]
+    fr32_over, fr32_drop = rows["FlashRoute-32"]
+    yarrp_over, yarrp_drop = rows["Yarrp-32"]
+
+    # Yarrp-32 must actually overprobe at 100 Kpps.
+    assert yarrp_over > 0
+    assert yarrp_drop > 0
+
+    # Both FlashRoute configurations drop far fewer probes than Yarrp-32.
+    assert fr16_drop < yarrp_drop
+    assert fr32_drop < 0.7 * yarrp_drop
+
+    # FlashRoute-32 is the least intrusive configuration of the five.
+    assert fr32_drop == min(drop for _over, drop in rows.values())
+
+    # Neighborhood protection does not meaningfully help (paper §4.2.2).
+    for label in ("Yarrp-32 3-hop protection", "Yarrp-32 6-hop protection"):
+        over, drop = rows[label]
+        assert over > 0.8 * yarrp_over

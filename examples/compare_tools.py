@@ -1,0 +1,62 @@
+#!/usr/bin/env python
+"""Head-to-head: FlashRoute vs Yarrp vs Scamper (the paper's Table 3).
+
+Runs all six configurations of the paper's comparison on one simulated
+topology with the same per-/24 targets, prints the table, and summarizes
+the headline ratios.
+
+Run:  python examples/compare_tools.py [num_prefixes]
+"""
+
+import sys
+
+from repro.analysis import render_table, speedup_summary
+from repro.baselines import Scamper, ScamperConfig, Yarrp, YarrpConfig
+from repro.core import FlashRoute, FlashRouteConfig, random_targets
+from repro.core.results import format_scan_time
+from repro.simnet import SimulatedNetwork, Topology, TopologyConfig
+
+
+def main() -> None:
+    num_prefixes = int(sys.argv[1]) if len(sys.argv) > 1 else 2048
+    topology = Topology(TopologyConfig(num_prefixes=num_prefixes))
+    targets = random_targets(topology, seed=1)
+    print(f"Scanning {num_prefixes} /24 prefixes with every tool "
+          f"(same targets, fresh network per scan)...\n")
+
+    scans = {}
+
+    def run(label, scanner):
+        scans[label] = scanner.scan(SimulatedNetwork(topology),
+                                    targets=targets)
+
+    run("FlashRoute-16", FlashRoute(FlashRouteConfig.flashroute_16()))
+    run("FlashRoute-32", FlashRoute(FlashRouteConfig.flashroute_32()))
+    run("Yarrp-16", Yarrp(YarrpConfig.yarrp_16()))
+    run("Yarrp-32", Yarrp(YarrpConfig.yarrp_32()))
+    run("Scamper-16", Scamper(ScamperConfig.scamper_16()))
+    run("Yarrp-32-UDP (sim)",
+        FlashRoute(FlashRouteConfig.yarrp32_udp_simulation()))
+
+    rows = [[label, scan.interface_count(), scan.probes_sent,
+             format_scan_time(scan.duration)]
+            for label, scan in scans.items()]
+    print(render_table(["Tool", "Interfaces", "Probes", "Scan Time"], rows,
+                       title="Full scan comparison (paper Table 3)"))
+
+    headline = speedup_summary(scans["FlashRoute-16"], scans["Yarrp-32"])
+    print(f"\nFlashRoute-16 vs Yarrp-32: "
+          f"{headline['time_ratio']:.1f}x faster, "
+          f"{headline['probe_ratio']:.1f}x fewer probes, "
+          f"{headline['interface_ratio'] * 100:.1f}% of the interfaces "
+          f"(paper: 3.5x, 3.6x, 101%)")
+    yarrp16 = scans["Yarrp-16"]
+    yarrp32 = scans["Yarrp-32"]
+    print(f"Yarrp-16 finds only "
+          f"{yarrp16.interface_count() / yarrp32.interface_count() * 100:.0f}% "
+          f"of Yarrp-32's interfaces — the fill-mode gap-limit-1 problem "
+          f"(paper: 49%).")
+
+
+if __name__ == "__main__":
+    main()

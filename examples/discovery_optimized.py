@@ -1,0 +1,55 @@
+#!/usr/bin/env python
+"""Discovery-optimized FlashRoute: hunting load-balanced alternatives (§5.2).
+
+Runs a FlashRoute-32 main scan plus three extra scans whose probes use
+shifted source ports (P+1, P+2, P+3) and random starting TTLs.  Per-flow
+load balancers hash the ports onto different diamond branches, so the extra
+scans — which share the main scan's stop set and are therefore cheap —
+reveal alternative interfaces no single-flow scan can see.
+
+Run:  python examples/discovery_optimized.py [num_prefixes]
+"""
+
+import sys
+
+from repro.core import FlashRouteConfig, run_discovery_optimized
+from repro.core.prober import FlashRoute
+from repro.core.results import format_scan_time
+from repro.simnet import SimulatedNetwork, Topology, TopologyConfig
+
+
+def main() -> None:
+    num_prefixes = int(sys.argv[1]) if len(sys.argv) > 1 else 2048
+    topology = Topology(TopologyConfig(num_prefixes=num_prefixes))
+    diamonds = len(topology.lb_groups)
+    alternates = sum(
+        len(branch) for group in topology.lb_groups for branch in group[1:])
+    print(f"Topology has {diamonds} load-balancer diamonds hiding "
+          f"{alternates} alternative interfaces from any single flow.\n")
+
+    result = run_discovery_optimized(SimulatedNetwork(topology),
+                                     extra_scans=3)
+    for scan in result.all_scans():
+        print(f"  {scan.tool:22s} interfaces={scan.interface_count():6,} "
+              f"probes={scan.probes_sent:8,} "
+              f"time={format_scan_time(scan.duration)}")
+
+    union = len(result.interfaces())
+    main_only = result.main.interface_count()
+    print(f"\nUnion of all four scans: {union:,} interfaces "
+          f"(+{union - main_only} over the main scan alone).")
+
+    # Compare against the exhaustive single-flow baseline.
+    sim = FlashRoute(FlashRouteConfig.yarrp32_udp_simulation()).scan(
+        SimulatedNetwork(topology), targets=dict(result.main.targets))
+    print(f"Exhaustive Yarrp-32-UDP simulation: "
+          f"{sim.interface_count():,} interfaces with "
+          f"{sim.probes_sent:,} probes.")
+    print(f"Discovery-optimized nets {union - sim.interface_count():+,} "
+          f"interfaces vs the exhaustive scan while sending "
+          f"{sim.probes_sent - result.total_probes():,} fewer probes "
+          f"(paper: +35,952).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,47 @@
+#!/usr/bin/env python
+"""Reproduce the Census-hitlist bias finding (paper §5.1 and Figure 8).
+
+Runs two exhaustive (TTL 1..32) scans over the same /24 prefixes — one
+tracing the synthesized ISI-hitlist representative of each block, one a
+uniformly random representative — and prints the full bias analysis: the
+interface deficit of the hitlist scan, the per-hop Jaccard divergence near
+the destinations, the route-length asymmetry, and the on-path counts that
+show hitlist addresses are disproportionately stub-entrance appliances.
+
+Run:  python examples/hitlist_bias.py [num_prefixes]
+"""
+
+import sys
+
+from repro.experiments import ExperimentContext, run_fig8
+from repro.simnet import Topology, TopologyConfig
+
+
+def main() -> None:
+    num_prefixes = int(sys.argv[1]) if len(sys.argv) > 1 else 2048
+    context = ExperimentContext(
+        topology=Topology(TopologyConfig(num_prefixes=num_prefixes)))
+    print(f"Exhaustively scanning {num_prefixes} prefixes twice "
+          f"(hitlist vs random representatives)...\n")
+
+    result = run_fig8(context)
+    print(result.render())
+
+    report = result.report
+    deficit = report.interface_gap() / max(report.random_interfaces, 1)
+    print(f"\nTakeaways:")
+    print(f"  * the hitlist scan discovers {deficit * 100:.1f}% fewer "
+          f"interfaces (paper: 8.4%)")
+    print(f"  * hitlist targets answer probes "
+          f"{report.hitlist_responsive / max(report.random_responsive, 1):.1f}x "
+          f"more often — they are selected for responsiveness")
+    print(f"  * but they sit at the stub periphery: "
+          f"{report.hitlist_on_random_routes} of them appear as transit "
+          f"hops on routes to random targets, vs only "
+          f"{report.random_on_hitlist_routes} the other way")
+    print(f"  * use the hitlist for preprobing hints, trace random "
+          f"addresses for topology (the paper's §4.1.3 arrangement)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,4 @@
+"""Classic setuptools entry point; all metadata lives in setup.cfg."""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,42 @@
+"""FlashRoute (IMC 2020) reproduction.
+
+A production-quality Python library reproducing *FlashRoute: Efficient
+Traceroute on a Massive Scale* (Huang, Rabinovich, Al-Dalky, IMC 2020) on a
+simulated Internet.  See DESIGN.md for the system inventory and
+EXPERIMENTS.md for the paper-vs-measured results.
+
+Public entry points::
+
+    from repro import (FlashRoute, FlashRouteConfig, Topology,
+                       TopologyConfig, SimulatedNetwork)
+
+    topology = Topology(TopologyConfig(num_prefixes=1024))
+    scanner = FlashRoute(FlashRouteConfig(split_ttl=16))
+    result = scanner.scan(SimulatedNetwork(topology))
+    print(result.summary())
+"""
+
+__version__ = "1.0.0"
+
+from .simnet import SimulatedNetwork, Topology, TopologyConfig, scaled_probing_rate
+
+__all__ = [
+    "__version__",
+    "SimulatedNetwork",
+    "Topology",
+    "TopologyConfig",
+    "scaled_probing_rate",
+    "FlashRoute",
+    "FlashRouteConfig",
+    "ScanResult",
+]
+
+
+def __getattr__(name):  # lazy re-exports, filled in as subpackages land
+    if name in ("FlashRoute", "FlashRouteConfig"):
+        from . import core
+        return getattr(core, name)
+    if name == "ScanResult":
+        from .core.results import ScanResult
+        return ScanResult
+    raise AttributeError(f"module 'repro' has no attribute {name!r}")

@@ -1,0 +1,72 @@
+"""Analysis layer: turns scan results into the paper's tables and figures."""
+
+from .distances import (
+    DifferenceDistribution,
+    difference_distribution,
+    full_prediction_coverage,
+    measurement_accuracy,
+    prediction_accuracy,
+    prediction_neighbourhood_coverage,
+)
+from .hitlist_bias import HitlistBiasReport, analyze_hitlist_bias
+from .intrusiveness import (
+    OverprobingReport,
+    TopologyMap,
+    analyze_overprobing,
+    count_route_holes,
+    scaled_rate_limit,
+)
+from .jaccard import (
+    interfaces_by_hops_from_destination,
+    jaccard,
+    jaccard_by_hops_from_destination,
+)
+from .metrics import (
+    comparison_rows,
+    coverage_against_topology,
+    describe,
+    interface_depth_histogram,
+    missed_interfaces,
+    route_length_distribution,
+    speedup_summary,
+    targets_probed_per_ttl,
+)
+from .report import (
+    fraction_within,
+    render_distribution,
+    render_pdf_cdf,
+    render_table,
+    sparkline,
+)
+
+__all__ = [
+    "DifferenceDistribution",
+    "difference_distribution",
+    "full_prediction_coverage",
+    "measurement_accuracy",
+    "prediction_accuracy",
+    "prediction_neighbourhood_coverage",
+    "HitlistBiasReport",
+    "analyze_hitlist_bias",
+    "OverprobingReport",
+    "TopologyMap",
+    "analyze_overprobing",
+    "count_route_holes",
+    "scaled_rate_limit",
+    "interfaces_by_hops_from_destination",
+    "jaccard",
+    "jaccard_by_hops_from_destination",
+    "comparison_rows",
+    "coverage_against_topology",
+    "describe",
+    "interface_depth_histogram",
+    "missed_interfaces",
+    "route_length_distribution",
+    "speedup_summary",
+    "targets_probed_per_ttl",
+    "fraction_within",
+    "render_distribution",
+    "render_pdf_cdf",
+    "render_table",
+    "sparkline",
+]

@@ -1,0 +1,129 @@
+"""Hop-distance accuracy analyses (paper §3.3.2–§3.3.4, Figures 3 and 4).
+
+Figure 3 validates the one-probe distance measurement against classic
+traceroute: the difference between the traceroute *triggering TTL* (first
+TTL eliciting port-unreachable) and the one-probe measured distance.
+Figure 4 validates the proximity-span *prediction*: for prefixes whose
+distance was measured, predict it instead from a measured neighbour and
+compare.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Dict, Mapping, Optional
+
+from ..core.preprobe import predict_distances
+
+
+@dataclass
+class DifferenceDistribution:
+    """PDF of (reference - candidate) hop differences plus summary stats."""
+
+    pdf: Dict[int, float]
+    samples: int
+
+    def fraction_exact(self) -> float:
+        return self.pdf.get(0, 0.0)
+
+    def fraction_within(self, radius: int) -> float:
+        return sum(mass for diff, mass in self.pdf.items()
+                   if abs(diff) <= radius)
+
+    def cdf(self) -> Dict[int, float]:
+        cumulative = 0.0
+        result: Dict[int, float] = {}
+        for diff in sorted(self.pdf):
+            cumulative += self.pdf[diff]
+            result[diff] = cumulative
+        return result
+
+
+def difference_distribution(reference: Mapping[int, int],
+                            candidate: Mapping[int, int]) -> DifferenceDistribution:
+    """PDF of ``reference[k] - candidate[k]`` over the common keys."""
+    counts: Counter = Counter()
+    for key, ref_value in reference.items():
+        cand_value = candidate.get(key)
+        if cand_value is None:
+            continue
+        counts[ref_value - cand_value] += 1
+    total = sum(counts.values())
+    if total == 0:
+        return DifferenceDistribution(pdf={}, samples=0)
+    return DifferenceDistribution(
+        pdf={diff: count / total for diff, count in counts.items()},
+        samples=total)
+
+
+def measurement_accuracy(measured: Mapping[int, int],
+                         triggering: Mapping[int, int]) -> DifferenceDistribution:
+    """Figure 3: triggering TTL minus one-probe measured distance.
+
+    Paper: ~89.7 % exact, +7 % within one hop, ~3.3 % off by more.
+    """
+    return difference_distribution(triggering, measured)
+
+
+def prediction_accuracy(measured: Mapping[int, int],
+                        proximity_span: int,
+                        num_prefixes: int,
+                        reference: Optional[Mapping[int, int]] = None
+                        ) -> DifferenceDistribution:
+    """Figure 4: leave-one-out prediction error of the proximity rule.
+
+    Each measured prefix is removed in turn and re-predicted from its
+    remaining measured neighbours within the span; the difference against
+    ``reference`` (defaulting to the measured value itself, the paper uses
+    the traceroute-mimicking triggering TTLs of the same destinations) forms
+    the PDF.  Paper: 59.1 % exact, 84.5 % within one hop.
+    """
+    counts: Counter = Counter()
+    reference = reference if reference is not None else measured
+    for offset, _distance in measured.items():
+        ref_value = reference.get(offset)
+        if ref_value is None:
+            continue
+        prediction = _predict_single(measured, offset, proximity_span)
+        if prediction is None:
+            continue
+        counts[prediction - ref_value] += 1
+    total = sum(counts.values())
+    if total == 0:
+        return DifferenceDistribution(pdf={}, samples=0)
+    return DifferenceDistribution(
+        pdf={diff: count / total for diff, count in counts.items()},
+        samples=total)
+
+
+def _predict_single(measured: Mapping[int, int], offset: int,
+                    span: int) -> Optional[int]:
+    """Nearest-neighbour prediction for one prefix, excluding itself."""
+    for delta in range(1, span + 1):
+        left = measured.get(offset - delta)
+        if left is not None:
+            return left
+        right = measured.get(offset + delta)
+        if right is not None:
+            return right
+    return None
+
+
+def prediction_neighbourhood_coverage(measured: Mapping[int, int],
+                                      span: int) -> float:
+    """Fraction of measured prefixes having another measured prefix within
+    the span (paper: ~89.5 % with the default span of 5)."""
+    if not measured:
+        return 0.0
+    covered = sum(
+        1 for offset in measured
+        if _predict_single(measured, offset, span) is not None)
+    return covered / len(measured)
+
+
+def full_prediction_coverage(measured: Mapping[int, int], num_prefixes: int,
+                             span: int) -> float:
+    """Fraction of *all* prefixes gaining measured or predicted distances."""
+    predicted = predict_distances(dict(measured), num_prefixes, span)
+    return (len(measured) + len(predicted)) / max(num_prefixes, 1)

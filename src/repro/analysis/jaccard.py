@@ -1,0 +1,56 @@
+"""Per-hop Jaccard similarity of interface sets (paper Figure 8).
+
+The hitlist-bias analysis compares, hop by hop *counted from the
+destination*, the interfaces discovered by a scan of hitlist targets and a
+scan of random targets.  Jaccard index 1 means identical sets; the paper
+finds the two scans agree everywhere except the last two hops before the
+destinations, where the hitlist's preference for stub-entrance appliances
+hides interior interfaces.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Set
+
+from ..core.results import ScanResult
+
+
+def jaccard(a: Set[int], b: Set[int]) -> float:
+    """Jaccard index of two sets; defined as 1.0 for two empty sets."""
+    if not a and not b:
+        return 1.0
+    union = len(a | b)
+    return len(a & b) / union
+
+
+def interfaces_by_hops_from_destination(result: ScanResult,
+                                        max_back: int = 10
+                                        ) -> Dict[int, Set[int]]:
+    """Group discovered interfaces by distance from their route's end.
+
+    The route end is the destination's measured distance when it responded,
+    else the deepest responding hop.  Hop 1 is the interface immediately
+    before the destination.
+    """
+    grouped: Dict[int, Set[int]] = {back: set() for back in range(1, max_back + 1)}
+    for prefix, hops in result.routes.items():
+        if not hops:
+            continue
+        end = result.dest_distance.get(prefix)
+        if end is None:
+            end = max(hops) + 1
+        for ttl, responder in hops.items():
+            back = end - ttl
+            if 1 <= back <= max_back:
+                grouped[back].add(responder)
+    return grouped
+
+
+def jaccard_by_hops_from_destination(hitlist_scan: ScanResult,
+                                     random_scan: ScanResult,
+                                     max_back: int = 10) -> Dict[int, float]:
+    """Figure 8: Jaccard index per hop-distance from the destination."""
+    hitlist_groups = interfaces_by_hops_from_destination(hitlist_scan, max_back)
+    random_groups = interfaces_by_hops_from_destination(random_scan, max_back)
+    return {back: jaccard(hitlist_groups[back], random_groups[back])
+            for back in range(1, max_back + 1)}

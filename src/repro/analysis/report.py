@@ -1,0 +1,90 @@
+"""Plain-text rendering of tables and distributions.
+
+The benchmark harness regenerates every table and figure of the paper as
+text: tables as aligned columns, figures as rows of (x, value) series plus a
+small ASCII sparkline so trends are visible in terminal output.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Mapping, Sequence
+
+_SPARK_CHARS = "▁▂▃▄▅▆▇█"
+
+
+def render_table(headers: Sequence[str],
+                 rows: Iterable[Sequence[object]],
+                 title: str = "") -> str:
+    """Render rows as an aligned monospace table."""
+    materialized: List[List[str]] = [[_cell(value) for value in row]
+                                     for row in rows]
+    widths = [len(header) for header in headers]
+    for row in materialized:
+        if len(row) != len(headers):
+            raise ValueError("row width does not match header width")
+        for column, value in enumerate(row):
+            widths[column] = max(widths[column], len(value))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(header.ljust(widths[i])
+                           for i, header in enumerate(headers)))
+    lines.append("  ".join("-" * width for width in widths))
+    for row in materialized:
+        lines.append("  ".join(value.ljust(widths[i])
+                               for i, value in enumerate(row)))
+    return "\n".join(lines)
+
+
+def _cell(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:,.2f}"
+    if isinstance(value, int):
+        return f"{value:,}"
+    return str(value)
+
+
+def sparkline(values: Sequence[float]) -> str:
+    """Eight-level unicode sparkline of a numeric series."""
+    if not values:
+        return ""
+    low = min(values)
+    high = max(values)
+    span = high - low
+    if span <= 0:
+        return _SPARK_CHARS[0] * len(values)
+    return "".join(
+        _SPARK_CHARS[min(int((value - low) / span * 8), 7)]
+        for value in values)
+
+
+def render_distribution(series: Mapping[int, float], title: str,
+                        x_label: str = "x", y_label: str = "value",
+                        percent: bool = False) -> str:
+    """Render a figure-style series: one row per x plus a sparkline."""
+    keys = sorted(series)
+    lines = [title]
+    values = [series[key] for key in keys]
+    lines.append(f"  {x_label:>8s}  {y_label}")
+    for key, value in zip(keys, values):
+        shown = f"{value * 100:7.2f}%" if percent else f"{value:10.3f}"
+        lines.append(f"  {key:8d}  {shown}")
+    lines.append(f"  trend: {sparkline(values)}")
+    return "\n".join(lines)
+
+
+def render_pdf_cdf(pdf: Mapping[int, float], title: str) -> str:
+    """Render a PDF and its CDF the way Figures 3 and 4 report them."""
+    keys = sorted(pdf)
+    lines = [title, f"  {'diff':>6s}  {'PDF':>8s}  {'CDF':>8s}"]
+    cumulative = 0.0
+    for key in keys:
+        cumulative += pdf[key]
+        lines.append(f"  {key:6d}  {pdf[key]*100:7.2f}%  {cumulative*100:7.2f}%")
+    lines.append(f"  trend: {sparkline([pdf[key] for key in keys])}")
+    return "\n".join(lines)
+
+
+def fraction_within(pdf: Mapping[int, float], radius: int) -> float:
+    """Probability mass within ``|diff| <= radius`` of a difference PDF."""
+    return sum(mass for diff, mass in pdf.items() if abs(diff) <= radius)

@@ -1,0 +1,23 @@
+"""Baseline tools the paper compares FlashRoute against.
+
+* :class:`Yarrp` — the prior state of the art in massive traceroutes
+  (Yarrp-32, Yarrp-16 fill mode, neighborhood protection, TCP-ACK/UDP).
+* :class:`Scamper` — CAIDA's Doubletree engine at 10 Kpps, including its
+  empirically observed backward-probing quirk (paper Fig. 7).
+* :class:`ClassicTraceroute` — the conventional sequential tool, used as
+  the reference for hop-distance validation (Fig. 3).
+"""
+
+from .scamper import Scamper, ScamperConfig
+from .traceroute import ClassicTraceroute, TracerouteResult
+from .yarrp import Yarrp, YarrpConfig, YarrpUdpEncodingError
+
+__all__ = [
+    "Scamper",
+    "ScamperConfig",
+    "ClassicTraceroute",
+    "TracerouteResult",
+    "Yarrp",
+    "YarrpConfig",
+    "YarrpUdpEncodingError",
+]

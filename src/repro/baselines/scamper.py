@@ -1,0 +1,176 @@
+"""Scamper baseline (Luckie, IMC 2010), as configured in the paper.
+
+Scamper is CAIDA's long-running traceroute engine: Paris-UDP probes, the
+Doubletree optimization, first-TTL 16, gap limit 5, max TTL 32, at most
+10 Kpps, one probe per hop (retries disabled to match FlashRoute/Yarrp).
+
+The paper found (Fig. 7) that Scamper's backward probing does not implement
+textbook Doubletree: it "starts removing redundancy one hop later, and then
+preserves a certain level of probing redundancy until the TTL reduces to 6",
+where it plunges back to full redundancy elimination.  We model that
+empirical behaviour directly with two parameters:
+
+* ``stop_lag``: after the first stop-set hit above the window, Scamper
+  probes one more hop before terminating;
+* ``no_stop_window``: a TTL interval (default (6, 14]) inside which
+  stop-set hits do not terminate backward probing at all.
+
+The net effect matches the paper's measurement: ~35 % more probes than
+FlashRoute-16 and slightly more interfaces, found on the redundantly probed
+middle hops.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Set, Tuple
+
+from ..net.icmp import ResponseKind, distance_from_unreachable
+from ..simnet.config import scaled_probing_rate
+from ..simnet.engine import VirtualClock
+from ..simnet.network import SimulatedNetwork
+from ..core.encoding import encode_probe
+from ..core.permutation import FeistelPermutation
+from ..core.results import ScanResult
+from ..core.targets import random_targets
+
+
+@dataclass
+class ScamperConfig:
+    """Scamper's trace options as used in the paper (§4.2.1)."""
+
+    first_ttl: int = 16
+    max_ttl: int = 32
+    gap_limit: int = 5
+
+    #: Scamper caps its probing rate at 10 Kpps; ``None`` scales that cap to
+    #: the simulated prefix count.
+    probing_rate: Optional[float] = None
+
+    #: Empirical backward-probing quirks (see module docstring / Fig. 7).
+    stop_lag: int = 1
+    no_stop_window: Tuple[int, int] = (6, 14)
+
+    seed: int = 1
+
+    def __post_init__(self) -> None:
+        if not 1 <= self.first_ttl <= self.max_ttl <= 32:
+            raise ValueError("need 1 <= first_ttl <= max_ttl <= 32")
+        if self.gap_limit < 0:
+            raise ValueError("gap_limit must be non-negative")
+        low, high = self.no_stop_window
+        if low > high:
+            raise ValueError("no_stop_window must be (low, high) with low <= high")
+
+    @classmethod
+    def scamper_16(cls, **overrides) -> "ScamperConfig":
+        """Scamper-16 (Table 3): first TTL 16, gap 5, max 32."""
+        return cls(**overrides)
+
+
+class Scamper:
+    """The Scamper model: per-destination Doubletree at a bounded rate.
+
+    Probing is synchronous per destination (Scamper waits for a response or
+    timeout before the next hop of a trace), but the virtual clock charges
+    the global rate cap, which is what determines total scan time — at
+    10 Kpps the inter-probe gap dwarfs any RTT.
+    """
+
+    def __init__(self, config: Optional[ScamperConfig] = None) -> None:
+        self.config = config if config is not None else ScamperConfig()
+
+    def scan(self, network: SimulatedNetwork,
+             targets: Optional[Dict[int, int]] = None,
+             tool_name: str = "Scamper-16") -> ScanResult:
+        config = self.config
+        topology = network.topology
+        if targets is None:
+            targets = random_targets(topology, config.seed)
+        rate = (config.probing_rate if config.probing_rate is not None
+                else scaled_probing_rate(len(targets), paper_rate=10_000.0))
+        send_gap = 1.0 / rate
+
+        clock = VirtualClock()
+        result = ScanResult(tool=tool_name, num_targets=len(targets))
+        result.targets = dict(targets)
+        stop_set: Set[int] = set()
+
+        order = FeistelPermutation(len(targets), config.seed ^ 0x5CA9)
+        prefixes = sorted(targets)
+        for position in order:
+            prefix = prefixes[position]
+            self._trace_one(network, targets[prefix], prefix, clock,
+                            send_gap, stop_set, result)
+        result.duration = clock.now
+        return result
+
+    # ------------------------------------------------------------------ #
+
+    def _probe(self, network: SimulatedNetwork, dst: int, ttl: int,
+               clock: VirtualClock, send_gap: float,
+               result: ScanResult):
+        """One paced probe with synchronous response (see class docstring)."""
+        marking = encode_probe(dst, ttl, clock.now)
+        response = network.send_probe(dst, ttl, clock.now, marking.src_port,
+                                      ipid=marking.ipid,
+                                      udp_length=marking.udp_length)
+        result.probes_sent += 1
+        result.ttl_probe_histogram[ttl] += 1
+        clock.advance(send_gap)
+        if response is not None:
+            result.responses += 1
+            result.response_kinds[response.kind.value] += 1
+        return response
+
+    def _trace_one(self, network: SimulatedNetwork, dst: int, prefix: int,
+                   clock: VirtualClock, send_gap: float, stop_set: Set[int],
+                   result: ScanResult) -> None:
+        config = self.config
+
+        # Forward from the split point toward the target.
+        silent_streak = 0
+        ttl = config.first_ttl
+        while ttl <= config.max_ttl and silent_streak < config.gap_limit:
+            response = self._probe(network, dst, ttl, clock, send_gap, result)
+            if response is None:
+                silent_streak += 1
+            elif response.kind is ResponseKind.TTL_EXCEEDED:
+                silent_streak = 0
+                result.add_hop(prefix, ttl, response.responder)
+                stop_set.add(response.responder)
+            elif response.kind.is_unreachable:
+                if response.responder == dst:
+                    distance = distance_from_unreachable(response, ttl)
+                    if distance is not None:
+                        result.record_destination(prefix, distance)
+                break
+            ttl += 1
+
+        # Backward from the split point toward the vantage point, with
+        # Scamper's empirically observed redundancy-elimination behaviour.
+        low, high = config.no_stop_window
+        lag_remaining: Optional[int] = None
+        ttl = config.first_ttl - 1
+        while ttl >= 1:
+            if lag_remaining is not None:
+                if lag_remaining == 0:
+                    break
+                lag_remaining -= 1
+            response = self._probe(network, dst, ttl, clock, send_gap, result)
+            if response is not None:
+                if response.kind is ResponseKind.TTL_EXCEEDED:
+                    hit = response.responder in stop_set
+                    result.add_hop(prefix, ttl, response.responder)
+                    stop_set.add(response.responder)
+                    if hit:
+                        if ttl <= low:
+                            break
+                        if ttl > high and lag_remaining is None:
+                            lag_remaining = config.stop_lag
+                elif response.kind.is_unreachable:
+                    if response.responder == dst:
+                        distance = distance_from_unreachable(response, ttl)
+                        if distance is not None:
+                            result.record_destination(prefix, distance)
+            ttl -= 1

@@ -1,0 +1,93 @@
+"""Classic sequential traceroute.
+
+The paper uses the conventional probe-every-TTL-and-wait approach as the
+reference for validating the one-probe hop-distance measurement (§3.3.2):
+probes with TTLs 1..32 are sent toward a destination and the first TTL that
+elicits an ICMP port-unreachable — the *triggering TTL* — is the
+traceroute-measured distance.  This module implements that reference tool,
+one destination at a time, which is also the library's simplest example of
+a probing engine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..net.icmp import ResponseKind
+from ..simnet.engine import VirtualClock
+from ..simnet.network import SimulatedNetwork
+from .. import core
+
+
+@dataclass
+class TracerouteResult:
+    """Hops and destination info measured for one target."""
+
+    dst: int
+    #: ttl -> responder address for TTL-exceeded responses.
+    hops: Dict[int, int] = field(default_factory=dict)
+    #: First TTL that elicited port-unreachable, or None.
+    triggering_ttl: Optional[int] = None
+    #: Distance implied by the residual TTL of the unreachable response.
+    residual_distance: Optional[int] = None
+    probes: int = 0
+
+    def max_responding_ttl(self) -> Optional[int]:
+        candidates: List[int] = list(self.hops)
+        if self.triggering_ttl is not None:
+            candidates.append(self.triggering_ttl)
+        return max(candidates) if candidates else None
+
+
+class ClassicTraceroute:
+    """Sequential per-hop traceroute over the simulated network.
+
+    Unlike the massive-scan engines, this waits for each response before
+    deciding the next step — the behaviour whose slowness motivated Yarrp
+    and FlashRoute in the first place.
+    """
+
+    def __init__(self, network: SimulatedNetwork, max_ttl: int = 32,
+                 inter_probe_gap: float = 0.02,
+                 stop_at_unreachable: bool = True,
+                 start_time: float = 0.0) -> None:
+        if max_ttl < 1:
+            raise ValueError("max_ttl must be at least 1")
+        self.network = network
+        self.max_ttl = max_ttl
+        self.inter_probe_gap = inter_probe_gap
+        self.stop_at_unreachable = stop_at_unreachable
+        self.clock = VirtualClock(start_time)
+
+    def trace(self, dst: int) -> TracerouteResult:
+        """Probe ``dst`` at TTL 1..max_ttl, low to high, one at a time."""
+        result = TracerouteResult(dst=dst)
+        for ttl in range(1, self.max_ttl + 1):
+            marking = core.encode_probe(dst, ttl, self.clock.now)
+            response = self.network.send_probe(
+                dst, ttl, self.clock.now, marking.src_port,
+                ipid=marking.ipid, udp_length=marking.udp_length)
+            result.probes += 1
+            # Sequential semantics: wait out the round trip (or the pacing
+            # gap, whichever is longer) before the next hop.
+            if response is not None:
+                self.clock.advance_to(response.arrival_time)
+            self.clock.advance(self.inter_probe_gap)
+            if response is None:
+                continue
+            if response.kind is ResponseKind.TTL_EXCEEDED:
+                result.hops[ttl] = response.responder
+            elif response.kind.is_unreachable:
+                if result.triggering_ttl is None:
+                    result.triggering_ttl = ttl
+                    from ..net.icmp import distance_from_unreachable
+                    result.residual_distance = distance_from_unreachable(
+                        response, ttl)
+                if self.stop_at_unreachable:
+                    break
+        return result
+
+    def triggering_ttl(self, dst: int) -> Optional[int]:
+        """Just the first TTL that triggers port-unreachable (Fig. 3)."""
+        return self.trace(dst).triggering_ttl

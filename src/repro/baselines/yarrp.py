@@ -1,0 +1,256 @@
+"""Yarrp baseline (Beverly, IMC 2016; Yarrp6, IMC 2018).
+
+Yarrp is the stateless massive-traceroute tool FlashRoute is compared
+against.  Faithfully modeled here:
+
+* **Stateless bulk probing**: a ZMap-style multiplicative-cycle permutation
+  over the (destination /24 x TTL) space; every pair gets exactly one probe,
+  no feedback, maximal parallelism.
+* **Probe types**: Paris-TCP-ACK by default (elapsed time in the TCP
+  sequence number); UDP optional — the paper notes real Yarrp's UDP mode
+  breaks because it encodes elapsed time into the packet-length field and
+  outgrows the MTU, which we reproduce as a refusal when the elapsed time
+  no longer fits (§4.2.1, footnote 2).
+* **Fill mode** (Yarrp-16): bulk-probes TTLs 1..fill_start, and upon a
+  TTL-exceeded response from the farthest probed hop issues one extra probe
+  one hop farther, up to max_ttl.  The chain stops at the first silent hop —
+  the inherent gap limit of 1 the paper blames for Yarrp-16's poor
+  interface discovery.
+* **Neighborhood protection**: stop probing TTLs <= radius once no new
+  interface has been discovered there for 30 seconds (§4.2.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..net.icmp import IcmpResponse, ResponseKind
+from ..net.packets import PROTO_TCP, PROTO_UDP, UDP_HEADER_LEN
+from ..simnet.config import scaled_probing_rate
+from ..simnet.engine import ResponseQueue, VirtualClock
+from ..simnet.network import SimulatedNetwork
+from ..core.encoding import decode_response, encode_probe, rtt_ms
+from ..core.permutation import MultiplicativeCycle
+from ..core.results import ScanResult
+from ..core.targets import random_targets
+
+_SETTLE_SECONDS = 1.0
+
+#: Real Yarrp UDP encodes elapsed milliseconds in the packet length; the
+#: system rejects datagrams beyond this size ("Message too long").
+_MAX_UDP_LENGTH = 1472
+
+
+class YarrpUdpEncodingError(RuntimeError):
+    """Raised when Yarrp's UDP timestamp encoding outgrows the MTU,
+    reproducing the failure reported in the paper's footnote 2."""
+
+
+@dataclass
+class YarrpConfig:
+    """Configuration mirroring Yarrp's command line."""
+
+    #: Highest TTL probed in the bulk phase.
+    max_ttl: int = 32
+
+    #: If set, bulk probing stops at this TTL and fill mode sequentially
+    #: extends routes up to ``fill_limit`` (Yarrp-16: fill_start=16).
+    fill_start: Optional[int] = None
+    fill_limit: int = 32
+
+    probe_type: str = "tcp_ack"  # or "udp"
+
+    #: Neighborhood protection radius in hops (0 disables).
+    neighborhood_radius: int = 0
+    neighborhood_timeout: float = 30.0
+
+    probing_rate: Optional[float] = None
+    seed: int = 1
+
+    def __post_init__(self) -> None:
+        if not 1 <= self.max_ttl <= 32:
+            raise ValueError("max_ttl must be in [1, 32]")
+        if self.fill_start is not None and not 1 <= self.fill_start <= self.max_ttl:
+            raise ValueError("fill_start must be in [1, max_ttl]")
+        if self.probe_type not in ("tcp_ack", "udp"):
+            raise ValueError(f"unknown probe type {self.probe_type!r}")
+        if self.neighborhood_radius < 0:
+            raise ValueError("neighborhood_radius must be non-negative")
+
+    @classmethod
+    def yarrp_32(cls, **overrides) -> "YarrpConfig":
+        """Yarrp-32: exhaustive TTL 1..32, Paris-TCP-ACK (Table 3)."""
+        return cls(max_ttl=32, **overrides)
+
+    @classmethod
+    def yarrp_16(cls, **overrides) -> "YarrpConfig":
+        """Yarrp-16: bulk to TTL 16 plus fill mode to 32 (Table 3)."""
+        return cls(max_ttl=32, fill_start=16, **overrides)
+
+    @property
+    def bulk_ttl(self) -> int:
+        return self.fill_start if self.fill_start is not None else self.max_ttl
+
+    @property
+    def label(self) -> str:
+        base = f"Yarrp-{self.bulk_ttl}"
+        if self.neighborhood_radius:
+            base += f" {self.neighborhood_radius}-hop protection"
+        if self.probe_type == "udp":
+            base += " UDP"
+        return base
+
+
+class Yarrp:
+    """The Yarrp scanner."""
+
+    def __init__(self, config: Optional[YarrpConfig] = None) -> None:
+        self.config = config if config is not None else YarrpConfig.yarrp_32()
+
+    def scan(self, network: SimulatedNetwork,
+             targets: Optional[Dict[int, int]] = None,
+             tool_name: Optional[str] = None) -> ScanResult:
+        run = _YarrpRun(self.config, network, targets, tool_name)
+        return run.execute()
+
+
+class _YarrpRun:
+    def __init__(self, config: YarrpConfig, network: SimulatedNetwork,
+                 targets: Optional[Dict[int, int]],
+                 tool_name: Optional[str]) -> None:
+        self.config = config
+        self.network = network
+        topology = network.topology
+        self.base_prefix = topology.base_prefix
+        self.num_prefixes = topology.num_prefixes
+        if targets is None:
+            targets = random_targets(topology, config.seed)
+        self.targets = targets
+        self.offsets = sorted(prefix - self.base_prefix for prefix in targets)
+        self.rate = (config.probing_rate if config.probing_rate is not None
+                     else scaled_probing_rate(self.num_prefixes))
+        self.send_gap = 1.0 / self.rate
+        self.clock = VirtualClock()
+        self.queue = ResponseQueue()
+        self.result = ScanResult(
+            tool=tool_name if tool_name is not None else config.label,
+            num_targets=len(targets))
+        self.result.targets = dict(targets)
+        self.proto = PROTO_TCP if config.probe_type == "tcp_ack" else PROTO_UDP
+        #: Fill-mode probes waiting to be sent (dst, ttl).
+        self.fill_backlog: List[Tuple[int, int]] = []
+        #: Neighborhood protection state: per protected TTL, the virtual
+        #: time a new interface was last discovered there.
+        self.last_new_iface_at: Dict[int, float] = {
+            ttl: 0.0 for ttl in range(1, config.neighborhood_radius + 1)}
+        self.skipped_by_protection = 0
+        self._seen_ifaces: set = set()
+
+    # ------------------------------------------------------------------ #
+
+    def _udp_length_for(self, send_time: float) -> int:
+        """Real Yarrp's UDP mode: elapsed ms goes into the packet length."""
+        length = UDP_HEADER_LEN + int(send_time * 1000.0)
+        if length > _MAX_UDP_LENGTH:
+            raise YarrpUdpEncodingError(
+                "Network API error: Message too long (Yarrp UDP encodes the "
+                "elapsed time into the packet length field; see paper "
+                "footnote 2)")
+        return length
+
+    def _protected(self, ttl: int) -> bool:
+        config = self.config
+        if ttl > config.neighborhood_radius:
+            return False
+        last_new = self.last_new_iface_at.get(ttl, 0.0)
+        return (self.clock.now - last_new) > config.neighborhood_timeout
+
+    def _send(self, dst: int, ttl: int) -> None:
+        marking = encode_probe(dst, ttl, self.clock.now)
+        if self.proto == PROTO_UDP:
+            udp_length = self._udp_length_for(self.clock.now)
+        else:
+            udp_length = marking.udp_length
+        response = self.network.send_probe(
+            dst, ttl, self.clock.now, marking.src_port,
+            ipid=marking.ipid, udp_length=udp_length, proto=self.proto)
+        self.result.probes_sent += 1
+        self.result.ttl_probe_histogram[ttl] += 1
+        if response is not None:
+            self.queue.push(response)
+        self.clock.advance(self.send_gap)
+
+    def _drain(self, until: float) -> None:
+        for response in self.queue.pop_until(until):
+            self._process(response)
+
+    def _process(self, response: IcmpResponse) -> None:
+        decoded = decode_response(response)
+        offset = (decoded.dst >> 8) - self.base_prefix
+        if not 0 <= offset < self.num_prefixes:
+            return
+        self.result.responses += 1
+        self.result.response_kinds[response.kind.value] += 1
+        if self.proto == PROTO_UDP:
+            self.result.add_rtt(rtt_ms(decoded, response.arrival_time))
+        prefix = self.base_prefix + offset
+        config = self.config
+
+        if response.kind is ResponseKind.TTL_EXCEEDED:
+            ttl = decoded.initial_ttl
+            known = self.result.routes.get(prefix)
+            is_new_iface = response.responder not in self._seen_ifaces
+            self.result.add_hop(prefix, ttl, response.responder)
+            if is_new_iface:
+                self._seen_ifaces.add(response.responder)
+                if ttl in self.last_new_iface_at:
+                    self.last_new_iface_at[ttl] = response.arrival_time
+            if (config.fill_start is not None
+                    and ttl >= config.fill_start
+                    and ttl < config.fill_limit
+                    and (known is None or all(t <= ttl for t in known))):
+                # Fill mode: extend the route one hop past the farthest
+                # responding hop (inherent gap limit of 1).
+                self.fill_backlog.append((decoded.dst, ttl + 1))
+            return
+
+        if response.kind.is_unreachable:
+            if response.responder == decoded.dst:
+                from ..net.icmp import distance_from_unreachable
+                distance = distance_from_unreachable(response,
+                                                     decoded.initial_ttl)
+                if distance is not None:
+                    self.result.record_destination(prefix, distance)
+
+    # ------------------------------------------------------------------ #
+
+    def execute(self) -> ScanResult:
+        config = self.config
+        domain = len(self.offsets) * config.bulk_ttl
+        cycle = MultiplicativeCycle(domain, config.seed ^ 0x59A44)
+        for value in cycle:
+            self._drain(self.clock.now)
+            while self.fill_backlog:
+                fill_dst, fill_ttl = self.fill_backlog.pop()
+                self._send(fill_dst, fill_ttl)
+                self._drain(self.clock.now)
+            index, ttl_index = divmod(value, config.bulk_ttl)
+            ttl = ttl_index + 1
+            if self._protected(ttl):
+                self.skipped_by_protection += 1
+                continue
+            dst = self.targets[self.base_prefix + self.offsets[index]]
+            self._send(dst, ttl)
+        # Let the tail of fill chains complete.
+        while True:
+            self.clock.advance(_SETTLE_SECONDS)
+            self._drain(self.clock.now)
+            if not self.fill_backlog:
+                break
+            while self.fill_backlog:
+                fill_dst, fill_ttl = self.fill_backlog.pop()
+                self._send(fill_dst, fill_ttl)
+        self.result.duration = self.clock.now
+        self.result.skipped_probes = self.skipped_by_protection
+        return self.result

@@ -1,0 +1,209 @@
+"""Command-line interface: ``flashroute-sim`` (or ``python -m repro``).
+
+Subcommands:
+
+* ``scan`` — run one tool over a freshly generated topology and print the
+  scan summary (optionally JSON).
+* ``experiment`` — regenerate one of the paper's tables/figures.
+* ``list`` — list available experiments.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Callable, Dict, List, Optional
+
+from .baselines.scamper import Scamper, ScamperConfig
+from .baselines.yarrp import Yarrp, YarrpConfig
+from .core.config import FlashRouteConfig, PreprobeMode
+from .core.prober import FlashRoute
+from .core.results import ScanResult
+from .experiments import (
+    ExperimentContext,
+    run_discovery_experiment,
+    run_fig3,
+    run_fig4,
+    run_fig6,
+    run_fig7,
+    run_fig8,
+    run_neighborhood_protection,
+    run_proximity_span_ablation,
+    run_rewrite_detection,
+    run_round_pacing_ablation,
+    run_granularity_future_work,
+    run_route_holes,
+    run_table1,
+    run_table2,
+    run_table3,
+    run_table4,
+    run_table5,
+)
+from .simnet.config import TopologyConfig
+from .simnet.network import SimulatedNetwork
+from .simnet.topology import Topology
+
+_EXPERIMENTS: Dict[str, Callable[[ExperimentContext], object]] = {
+    "table1": run_table1,
+    "table2": run_table2,
+    "table3": run_table3,
+    "table4": run_table4,
+    "table5": run_table5,
+    "fig3": run_fig3,
+    "fig4": run_fig4,
+    "fig6": run_fig6,
+    "fig7": run_fig7,
+    "fig8": run_fig8,
+    "neighborhood": run_neighborhood_protection,
+    "discovery": run_discovery_experiment,
+    "rewrite": run_rewrite_detection,
+    "ablation-span": run_proximity_span_ablation,
+    "ablation-pacing": run_round_pacing_ablation,
+    "holes": run_route_holes,
+    "future-granularity": run_granularity_future_work,
+}
+
+_TOOLS = ("flashroute-16", "flashroute-32", "yarrp-16", "yarrp-32",
+          "scamper-16", "yarrp-32-udp-sim")
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="flashroute-sim",
+        description="FlashRoute (IMC 2020) reproduction on a simulated "
+                    "Internet")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    scan = sub.add_parser("scan", help="run one scan")
+    scan.add_argument("--tool", choices=_TOOLS, default="flashroute-16")
+    scan.add_argument("--prefixes", type=int, default=1024,
+                      help="number of /24 prefixes in the simulated space")
+    scan.add_argument("--seed", type=int, default=20201027,
+                      help="topology seed")
+    scan.add_argument("--split-ttl", type=int, default=None)
+    scan.add_argument("--gap-limit", type=int, default=None)
+    scan.add_argument("--preprobe",
+                      choices=[mode.value for mode in PreprobeMode],
+                      default=None)
+    scan.add_argument("--rate", type=float, default=None,
+                      help="probes per second (default: scaled 100 Kpps)")
+    scan.add_argument("--json", action="store_true",
+                      help="print the result as JSON")
+    scan.add_argument("--output", metavar="FILE", default=None,
+                      help="save the full result (.json) or the hop list "
+                           "(.csv)")
+    scan.add_argument("--pcap", metavar="FILE", default=None,
+                      help="capture every probe and response to a pcap file")
+
+    experiment = sub.add_parser("experiment",
+                                help="regenerate a paper table/figure")
+    experiment.add_argument("id", choices=sorted(_EXPERIMENTS))
+    experiment.add_argument("--prefixes", type=int, default=None,
+                            help="override REPRO_BENCH_PREFIXES")
+
+    sub.add_parser("list", help="list available experiments")
+    return parser
+
+
+def _build_scanner(args: argparse.Namespace):
+    if args.tool.startswith("flashroute"):
+        split = 16 if args.tool.endswith("16") else 32
+        config = FlashRouteConfig(
+            split_ttl=args.split_ttl if args.split_ttl is not None else split,
+            gap_limit=args.gap_limit if args.gap_limit is not None else 5,
+            preprobe=(PreprobeMode(args.preprobe)
+                      if args.preprobe is not None else PreprobeMode.HITLIST),
+            probing_rate=args.rate)
+        return FlashRoute(config)
+    if args.tool == "yarrp-32-udp-sim":
+        return FlashRoute(FlashRouteConfig.yarrp32_udp_simulation(
+            probing_rate=args.rate))
+    if args.tool == "yarrp-16":
+        return Yarrp(YarrpConfig.yarrp_16(probing_rate=args.rate))
+    if args.tool == "yarrp-32":
+        return Yarrp(YarrpConfig.yarrp_32(probing_rate=args.rate))
+    if args.tool == "scamper-16":
+        return Scamper(ScamperConfig.scamper_16(probing_rate=args.rate))
+    raise ValueError(f"unknown tool {args.tool!r}")
+
+
+def _scan_to_json(result: ScanResult) -> str:
+    payload = result.as_row()
+    payload.update({
+        "responses": result.responses,
+        "mismatched_quotes": result.mismatched_quotes,
+        "rounds": result.rounds,
+        "mean_rtt_ms": result.mean_rtt_ms(),
+        "probes_per_target": result.probes_per_target(),
+    })
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def _save_output(result: ScanResult, path: str) -> None:
+    from .core.output import save_json, write_hops_csv
+
+    if path.endswith(".csv"):
+        with open(path, "w", encoding="utf-8", newline="") as stream:
+            write_hops_csv(result, stream)
+    elif path.endswith(".json"):
+        save_json(result, path)
+    else:
+        raise SystemExit(f"--output must end in .json or .csv: {path!r}")
+
+
+def _run_scan(args: argparse.Namespace) -> int:
+    topology = Topology(TopologyConfig(num_prefixes=args.prefixes,
+                                       seed=args.seed))
+    network = SimulatedNetwork(topology)
+    pcap_handle = None
+    if args.pcap is not None:
+        from .simnet.capture import CapturingNetwork
+
+        pcap_handle = open(args.pcap, "wb")
+        network = CapturingNetwork(network, pcap_handle)
+    try:
+        scanner = _build_scanner(args)
+        result = scanner.scan(network)
+    finally:
+        if pcap_handle is not None:
+            pcap_handle.close()
+    if args.output is not None:
+        _save_output(result, args.output)
+    if args.json:
+        print(_scan_to_json(result))
+    else:
+        print(result.summary())
+        print(f"  responses={result.responses:,} "
+              f"mismatched={result.mismatched_quotes:,} "
+              f"probes/target={result.probes_per_target():.1f}")
+        if args.pcap is not None:
+            print(f"  pcap: {args.pcap}")
+        if args.output is not None:
+            print(f"  saved: {args.output}")
+    return 0
+
+
+def _run_experiment(args: argparse.Namespace) -> int:
+    context = ExperimentContext.for_bench(args.prefixes)
+    outcome = _EXPERIMENTS[args.id](context)
+    render = getattr(outcome, "render", None)
+    print(render() if callable(render) else outcome)
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    if args.command == "scan":
+        return _run_scan(args)
+    if args.command == "experiment":
+        return _run_experiment(args)
+    if args.command == "list":
+        for name in sorted(_EXPERIMENTS):
+            print(name)
+        return 0
+    return 2  # pragma: no cover - argparse enforces the choices
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

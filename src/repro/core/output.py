@@ -1,0 +1,188 @@
+"""Scan result serialization: JSON, CSV, and traceroute-style text.
+
+Real FlashRoute writes its measurements to an output file (or defers to an
+external sniffer).  This module gives :class:`~repro.core.results.ScanResult`
+durable formats:
+
+* **JSON** — full fidelity round-trip (used by ``flashroute-sim --output``);
+* **CSV** — one row per (prefix, ttl, interface) hop, for spreadsheets and
+  ad-hoc analysis;
+* **text** — human traceroute-style dumps.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from collections import Counter
+from typing import Dict, Optional, TextIO
+
+from ..net.addr import int_to_ip, ip_to_int
+from .results import ScanResult, format_scan_time
+
+_FORMAT_VERSION = 1
+
+
+def result_to_dict(result: ScanResult) -> Dict[str, object]:
+    """Serialize a scan result to a JSON-compatible dictionary."""
+    return {
+        "format_version": _FORMAT_VERSION,
+        "tool": result.tool,
+        "num_targets": result.num_targets,
+        "granularity": result.granularity,
+        "probes_sent": result.probes_sent,
+        "preprobe_probes": result.preprobe_probes,
+        "responses": result.responses,
+        "mismatched_quotes": result.mismatched_quotes,
+        "skipped_probes": result.skipped_probes,
+        "duration": result.duration,
+        "rounds": result.rounds,
+        "aborted": result.aborted,
+        "rtt_sum_ms": result.rtt_sum_ms,
+        "rtt_count": result.rtt_count,
+        # JSON objects key by string; prefixes/ttls are ints.
+        "targets": {str(prefix): int_to_ip(addr)
+                    for prefix, addr in result.targets.items()},
+        "dest_distance": {str(prefix): distance
+                          for prefix, distance in result.dest_distance.items()},
+        "routes": {str(prefix): {str(ttl): int_to_ip(responder)
+                                 for ttl, responder in hops.items()}
+                   for prefix, hops in result.routes.items()},
+        "ttl_probe_histogram": {str(ttl): count for ttl, count
+                                in result.ttl_probe_histogram.items()},
+        "response_kinds": dict(result.response_kinds),
+    }
+
+
+def result_from_dict(payload: Dict[str, object]) -> ScanResult:
+    """Rebuild a scan result from :func:`result_to_dict` output."""
+    version = payload.get("format_version")
+    if version != _FORMAT_VERSION:
+        raise ValueError(f"unsupported scan format version: {version!r}")
+    result = ScanResult(tool=str(payload["tool"]),
+                        num_targets=int(payload["num_targets"]),
+                        granularity=int(payload.get("granularity", 24)))
+    result.probes_sent = int(payload["probes_sent"])
+    result.preprobe_probes = int(payload["preprobe_probes"])
+    result.responses = int(payload["responses"])
+    result.mismatched_quotes = int(payload["mismatched_quotes"])
+    result.skipped_probes = int(payload.get("skipped_probes", 0))
+    result.duration = float(payload["duration"])
+    result.rounds = int(payload["rounds"])
+    result.aborted = bool(payload["aborted"])
+    result.rtt_sum_ms = float(payload["rtt_sum_ms"])
+    result.rtt_count = int(payload["rtt_count"])
+    result.targets = {int(prefix): ip_to_int(addr)
+                      for prefix, addr in payload["targets"].items()}
+    result.dest_distance = {int(prefix): int(distance) for prefix, distance
+                            in payload["dest_distance"].items()}
+    result.routes = {
+        int(prefix): {int(ttl): ip_to_int(responder)
+                      for ttl, responder in hops.items()}
+        for prefix, hops in payload["routes"].items()}
+    result.ttl_probe_histogram = Counter(
+        {int(ttl): int(count) for ttl, count
+         in payload["ttl_probe_histogram"].items()})
+    result.response_kinds = Counter(payload["response_kinds"])
+    return result
+
+
+def write_json(result: ScanResult, stream: TextIO, indent: int = 2) -> None:
+    json.dump(result_to_dict(result), stream, indent=indent, sort_keys=True)
+    stream.write("\n")
+
+
+def read_json(stream: TextIO) -> ScanResult:
+    return result_from_dict(json.load(stream))
+
+
+def save_json(result: ScanResult, path: str) -> None:
+    with open(path, "w", encoding="utf-8") as stream:
+        write_json(result, stream)
+
+
+def load_json(path: str) -> ScanResult:
+    with open(path, encoding="utf-8") as stream:
+        return read_json(stream)
+
+
+# --------------------------------------------------------------------- #
+# CSV
+# --------------------------------------------------------------------- #
+
+CSV_FIELDS = ("prefix", "target", "ttl", "interface", "is_destination")
+
+
+def write_hops_csv(result: ScanResult, stream: TextIO) -> int:
+    """One row per discovered hop (plus destination rows); returns the
+    number of rows written."""
+    writer = csv.writer(stream)
+    writer.writerow(CSV_FIELDS)
+    rows = 0
+    shift = 32 - result.granularity
+    for prefix in sorted(result.routes.keys() | result.dest_distance.keys()):
+        target = result.targets.get(prefix)
+        target_text = int_to_ip(target) if target is not None else ""
+        prefix_text = f"{int_to_ip(prefix << shift)}/{result.granularity}"
+        for ttl, responder in sorted(result.routes.get(prefix, {}).items()):
+            writer.writerow([prefix_text, target_text, ttl,
+                             int_to_ip(responder), 0])
+            rows += 1
+        distance = result.dest_distance.get(prefix)
+        if distance is not None and target is not None:
+            writer.writerow([prefix_text, target_text, distance,
+                             target_text, 1])
+            rows += 1
+    return rows
+
+
+def hops_csv_text(result: ScanResult) -> str:
+    buffer = io.StringIO()
+    write_hops_csv(result, buffer)
+    return buffer.getvalue()
+
+
+# --------------------------------------------------------------------- #
+# Traceroute-style text
+# --------------------------------------------------------------------- #
+
+def format_route(result: ScanResult, prefix: int,
+                 show_missing: bool = True) -> str:
+    """One route as classic traceroute output (``*`` for silent hops)."""
+    target = result.targets.get(prefix)
+    hops = result.routes.get(prefix, {})
+    distance = result.dest_distance.get(prefix)
+    end = distance if distance is not None else (max(hops) if hops else 0)
+    shift = 32 - result.granularity
+    header = (f"traceroute to "
+              f"{int_to_ip(target) if target is not None else '?'} "
+              f"({int_to_ip(prefix << shift)}/{result.granularity})")
+    lines = [header]
+    for ttl in range(1, end + 1):
+        responder = hops.get(ttl)
+        if ttl == distance and target is not None:
+            lines.append(f"  {ttl:2d}  {int_to_ip(target)}  "
+                         f"[destination]")
+        elif responder is not None:
+            lines.append(f"  {ttl:2d}  {int_to_ip(responder)}")
+        elif show_missing:
+            lines.append(f"  {ttl:2d}  *")
+    return "\n".join(lines)
+
+
+def format_scan_report(result: ScanResult,
+                       max_routes: Optional[int] = 5) -> str:
+    """Summary plus a few sample routes, for terminals and logs."""
+    lines = [result.summary(),
+             f"  rounds={result.rounds} responses={result.responses:,} "
+             f"mismatched={result.mismatched_quotes:,} "
+             f"duration={format_scan_time(result.duration)}"]
+    shown = 0
+    for prefix in sorted(result.dest_distance):
+        if max_routes is not None and shown >= max_routes:
+            break
+        lines.append("")
+        lines.append(format_route(result, prefix))
+        shown += 1
+    return "\n".join(lines)

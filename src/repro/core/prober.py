@@ -1,0 +1,354 @@
+"""The FlashRoute probing engine (paper §3.2–§3.4).
+
+A scan proceeds in three stages over a virtual clock:
+
+1. **Preprobing** (optional): one TTL-32 probe per destination measures hop
+   distances; proximity-span prediction extends them to neighbours; the
+   distances become per-destination split points.  When the default split
+   TTL equals the preprobing TTL and preprobing used the same targets as
+   the main phase, the preprobe round *is* the first main round (§3.3.5).
+2. **Main rounds**: each round walks the DCB ring in permuted order and
+   issues up to two probes per live destination — the next backward hop
+   (toward the vantage point) and the next forward hop (toward the target).
+   Backward probing ends at TTL 1 or, with redundancy removal, at a
+   previously discovered interface (the Doubletree stop set); forward
+   probing ends at the target or after ``GapLimit`` consecutive silent
+   hops.  Rounds last at least one second, giving responses time to adjust
+   the strategy before the destination is visited again.
+3. **Finalization**: the clock advances past the last possible arrival and
+   remaining responses are drained.
+
+Sending and receiving are decoupled exactly as in the paper: the "receiving
+thread" is modeled by draining the response queue up to the current virtual
+send time before every scheduling decision (see DESIGN.md §6).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional, Set
+
+from ..net.icmp import IcmpResponse, ResponseKind, distance_from_unreachable
+from ..simnet.config import scaled_probing_rate
+from ..simnet.engine import ResponseQueue, VirtualClock
+from ..simnet.network import SimulatedNetwork
+from .config import FlashRouteConfig, PreprobeMode
+from .dcb import DCBArray, initial_order
+from .encoding import decode_response, destination_intact, encode_probe, rtt_ms
+from .preprobe import PreprobeOutcome, clamp_distance, predict_distances
+from .results import ScanResult
+from .targets import hitlist_targets, random_targets
+
+#: Extra virtual time after the last probe of a phase, enough for any
+#: response still in flight to arrive (worst case: 2 * 32 hops * hop
+#: latency + jitter, far below a second in the default latency model).
+_SETTLE_SECONDS = 1.0
+
+_PREPROBE_TTL = 32
+
+
+class FlashRoute:
+    """FlashRoute scanner: create once, call :meth:`scan` per run."""
+
+    def __init__(self, config: Optional[FlashRouteConfig] = None) -> None:
+        self.config = config if config is not None else FlashRouteConfig()
+
+    def scan(self, network: SimulatedNetwork,
+             targets: Optional[Dict[int, int]] = None,
+             preprobe_targets: Optional[Dict[int, int]] = None,
+             stop_set: Optional[Set[int]] = None,
+             start_ttls: Optional[Dict[int, int]] = None,
+             tool_name: Optional[str] = None,
+             excluded: Optional[Iterable[int]] = None) -> ScanResult:
+        """Run one full scan; returns the :class:`ScanResult`.
+
+        Args:
+            network: the (simulated) network to probe.
+            targets: /24 prefix -> representative address for the main
+                phase; defaults to a seeded random draw per prefix.
+            preprobe_targets: representatives for the preprobing phase;
+                defaults to ``targets`` (the hitlist mode supplies the
+                synthesized hitlist here automatically).
+            stop_set: externally shared Doubletree stop set; the
+                discovery-optimized mode passes one set across all its
+                scans so extra scans stop at anything already seen (§5.2).
+            start_ttls: per-prefix split-point override (used by the extra
+                scans' randomized starting TTLs); wins over preprobing.
+            tool_name: label recorded in the result.
+            excluded: prefixes to leave out of the ring (exclusion list).
+        """
+        run = _ScanRun(self.config, network, targets, preprobe_targets,
+                       stop_set, start_ttls, tool_name, excluded)
+        return run.execute()
+
+
+class _ScanRun:
+    """State and logic of a single scan (one-shot)."""
+
+    def __init__(self, config: FlashRouteConfig, network: SimulatedNetwork,
+                 targets: Optional[Dict[int, int]],
+                 preprobe_targets: Optional[Dict[int, int]],
+                 stop_set: Optional[Set[int]],
+                 start_ttls: Optional[Dict[int, int]],
+                 tool_name: Optional[str],
+                 excluded: Optional[Iterable[int]]) -> None:
+        self.config = config
+        self.network = network
+        topology = network.topology
+        # Block granularity (paper §5.4): the control-state array holds one
+        # DCB per /granularity block; at the default 24 a block is a /24.
+        self.block_shift = 32 - config.granularity
+        scale = 1 << (config.granularity - 24)
+        self.base_prefix = topology.base_prefix * scale
+        self.num_prefixes = topology.num_prefixes * scale
+
+        excluded_offsets = sorted(
+            {prefix - self.base_prefix for prefix in (excluded or ())
+             if 0 <= prefix - self.base_prefix < self.num_prefixes})
+        self.excluded_offsets = excluded_offsets
+
+        if targets is None:
+            targets = random_targets(topology, config.seed,
+                                     granularity=config.granularity)
+        self.targets = targets
+        if preprobe_targets is None:
+            if config.preprobe is PreprobeMode.HITLIST:
+                preprobe_targets = hitlist_targets(
+                    topology, granularity=config.granularity)
+            else:
+                preprobe_targets = targets
+        self.preprobe_targets = preprobe_targets
+
+        #: Folding preprobing into the first main round is only sound when
+        #: the preprobe targets are the main targets and the default split
+        #: TTL equals the preprobing TTL (§3.3.5, §4.1.3).
+        self.fold_preprobe = (
+            config.preprobe is PreprobeMode.RANDOM
+            and config.split_ttl == _PREPROBE_TTL
+            and config.max_ttl == _PREPROBE_TTL)
+
+        self.rate = (config.probing_rate
+                     if config.probing_rate is not None
+                     else scaled_probing_rate(topology.num_prefixes))
+        self.send_gap = 1.0 / self.rate
+
+        self.clock = VirtualClock()
+        self.queue = ResponseQueue()
+        self.stop_set: Set[int] = stop_set if stop_set is not None else set()
+        self.start_ttls = start_ttls or {}
+
+        name = tool_name if tool_name is not None else (
+            f"FlashRoute-{config.split_ttl}")
+        self.result = ScanResult(tool=name, num_targets=len(targets),
+                                 granularity=config.granularity)
+        self.result.targets = dict(targets)
+
+        self.dcb = self._build_dcbs()
+        self.preprobe_outcome = PreprobeOutcome()
+        self.in_preprobe = False
+
+    # ------------------------------------------------------------------ #
+    # Setup
+    # ------------------------------------------------------------------ #
+
+    def _build_dcbs(self) -> DCBArray:
+        destinations = []
+        missing = object()
+        for offset in range(self.num_prefixes):
+            addr = self.targets.get(self.base_prefix + offset, missing)
+            if addr is missing:
+                destinations.append(
+                    (self.base_prefix + offset) << self.block_shift)
+            else:
+                destinations.append(addr)
+        dcb = DCBArray(destinations, self.config.split_ttl,
+                       self.config.gap_limit)
+        absent = {offset for offset in range(self.num_prefixes)
+                  if self.base_prefix + offset not in self.targets}
+        banned = set(self.excluded_offsets) | absent
+        order = initial_order(self.num_prefixes,
+                              self.config.seed ^ 0x0D0B0D0B, banned)
+        if not order:
+            raise ValueError("every prefix is excluded; nothing to scan")
+        dcb.link_ring(order)
+        for prefix, ttl in self.start_ttls.items():
+            offset = prefix - self.base_prefix
+            if 0 <= offset < self.num_prefixes:
+                dcb.set_distance(offset, ttl, predicted=False)
+                horizon = min(ttl + self.config.gap_limit, 255)
+                dcb.forward_horizon[offset] = horizon
+        return dcb
+
+    # ------------------------------------------------------------------ #
+    # Probe emission
+    # ------------------------------------------------------------------ #
+
+    def _send(self, dst: int, ttl: int, is_preprobe: bool) -> None:
+        marking = encode_probe(dst, ttl, self.clock.now,
+                               is_preprobe=is_preprobe,
+                               scan_offset=self.config.scan_offset)
+        response = self.network.send_probe(
+            dst, ttl, self.clock.now, marking.src_port,
+            ipid=marking.ipid, udp_length=marking.udp_length)
+        self.result.probes_sent += 1
+        if is_preprobe:
+            self.result.preprobe_probes += 1
+        self.result.ttl_probe_histogram[ttl] += 1
+        if response is not None:
+            self.queue.push(response)
+        self.clock.advance(self.send_gap)
+
+    # ------------------------------------------------------------------ #
+    # Receive path
+    # ------------------------------------------------------------------ #
+
+    def _drain(self, until: float) -> None:
+        for response in self.queue.pop_until(until):
+            self._process(response)
+
+    def _process(self, response: IcmpResponse) -> None:
+        decoded = decode_response(response)
+        if not destination_intact(decoded, self.config.scan_offset):
+            self.result.mismatched_quotes += 1
+            return
+        offset = (decoded.dst >> self.block_shift) - self.base_prefix
+        if not 0 <= offset < self.num_prefixes:
+            return
+        self.result.responses += 1
+        self.result.response_kinds[response.kind.value] += 1
+        self.result.add_rtt(rtt_ms(decoded, response.arrival_time))
+
+        if decoded.is_preprobe:
+            self._process_preprobe(response, decoded, offset)
+            if not self.fold_preprobe:
+                return
+        self._process_main(response, decoded, offset)
+
+    def _process_preprobe(self, response: IcmpResponse, decoded, offset: int) -> None:
+        if response.kind is ResponseKind.PORT_UNREACHABLE \
+                and response.responder == decoded.dst:
+            distance = distance_from_unreachable(response, _PREPROBE_TTL)
+            if distance is not None:
+                clamped = clamp_distance(distance, self.config.max_ttl)
+                if clamped is not None:
+                    self.preprobe_outcome.measured[offset] = clamped
+
+    def _process_main(self, response: IcmpResponse, decoded, offset: int) -> None:
+        dcb = self.dcb
+        config = self.config
+        prefix = self.base_prefix + offset
+        kind = response.kind
+
+        if kind is ResponseKind.TTL_EXCEEDED:
+            ttl = decoded.initial_ttl
+            self.result.add_hop(prefix, ttl, response.responder)
+            horizon = min(ttl + config.gap_limit, 255)
+            if horizon > dcb.forward_horizon[offset]:
+                dcb.forward_horizon[offset] = horizon
+            if ttl <= dcb.split[offset] and dcb.next_backward[offset] > 0:
+                if ttl == 1:
+                    dcb.next_backward[offset] = 0
+                elif (config.redundancy_removal
+                      and response.responder in self.stop_set):
+                    dcb.next_backward[offset] = 0
+            self.stop_set.add(response.responder)
+            return
+
+        if kind.is_unreachable:
+            dcb.mark_dest_reached(offset)
+            if kind is not ResponseKind.HOST_UNREACHABLE \
+                    and response.responder == decoded.dst:
+                distance = distance_from_unreachable(response,
+                                                     decoded.initial_ttl)
+                if distance is not None:
+                    self.result.record_destination(prefix, distance)
+
+    # ------------------------------------------------------------------ #
+    # Phases
+    # ------------------------------------------------------------------ #
+
+    def _run_preprobe(self) -> None:
+        self.in_preprobe = True
+        started = self.clock.now
+        for offset in self.dcb.iter_ring():
+            prefix = self.base_prefix + offset
+            target = self.preprobe_targets.get(prefix)
+            if target is None:
+                continue
+            self._drain(self.clock.now)
+            self._send(target, _PREPROBE_TTL, is_preprobe=True)
+        self.clock.advance(_SETTLE_SECONDS)
+        self._drain(self.clock.now)
+        self.in_preprobe = False
+
+        outcome = self.preprobe_outcome
+        outcome.probes = self.result.preprobe_probes
+        outcome.duration = self.clock.now - started
+        outcome.predicted = predict_distances(
+            outcome.measured, self.num_prefixes, self.config.proximity_span)
+        self._apply_split_points(outcome)
+
+    def _apply_split_points(self, outcome: PreprobeOutcome) -> None:
+        gap_limit = self.config.gap_limit
+        for offset, distance in outcome.measured.items():
+            self.dcb.set_distance(offset, distance, predicted=False)
+            self.dcb.forward_horizon[offset] = min(distance + gap_limit, 255)
+        for offset, distance in outcome.predicted.items():
+            self.dcb.set_distance(offset, distance, predicted=True)
+            self.dcb.forward_horizon[offset] = min(distance + gap_limit, 255)
+        if self.fold_preprobe:
+            # Preprobing was the first main round: destinations without a
+            # measured distance continue downward from TTL 31 (§3.3.5).
+            for offset in self.dcb.iter_ring():
+                if offset not in outcome.measured \
+                        and offset not in outcome.predicted:
+                    self.dcb.next_backward[offset] = _PREPROBE_TTL - 1
+
+    def _destination_finished(self, offset: int) -> bool:
+        dcb = self.dcb
+        if dcb.next_backward[offset] > 0:
+            return False
+        if dcb.dest_reached(offset):
+            return True
+        limit = min(dcb.forward_horizon[offset], self.config.max_ttl)
+        return dcb.next_forward[offset] > limit
+
+    def _run_main_rounds(self) -> None:
+        config = self.config
+        dcb = self.dcb
+        while len(dcb) > 0:
+            if self.result.rounds >= config.max_rounds:
+                self.result.aborted = True
+                break
+            self.result.rounds += 1
+            round_start = self.clock.now
+            for offset in dcb.iter_ring():
+                self._drain(self.clock.now)
+                if dcb.is_removed(offset):
+                    continue
+                destination = dcb.destination[offset]
+                sent = False
+                backward = dcb.next_backward[offset]
+                if backward >= 1:
+                    self._send(destination, backward, is_preprobe=False)
+                    dcb.next_backward[offset] = backward - 1
+                    sent = True
+                if not dcb.dest_reached(offset):
+                    forward = dcb.next_forward[offset]
+                    limit = min(dcb.forward_horizon[offset], config.max_ttl)
+                    if forward <= limit:
+                        self._send(destination, forward, is_preprobe=False)
+                        dcb.next_forward[offset] = forward + 1
+                        sent = True
+                if not sent and self._destination_finished(offset):
+                    dcb.remove(offset)
+            self.clock.advance_to(round_start + config.round_seconds)
+            self._drain(self.clock.now)
+
+    def execute(self) -> ScanResult:
+        if self.config.preprobe is not PreprobeMode.NONE:
+            self._run_preprobe()
+        self._run_main_rounds()
+        self.clock.advance(_SETTLE_SECONDS)
+        self._drain(self.clock.now)
+        self.result.duration = self.clock.now
+        return self.result

@@ -1,0 +1,157 @@
+"""Scan results: discovered routes, interfaces, probe/time accounting.
+
+A :class:`ScanResult` is produced by every probing engine in this library
+(FlashRoute and the baselines), so the analysis layer can compare tools
+uniformly.  Routes are stored per /24 prefix as ``{ttl: responder}``
+mappings; the interface set, per-TTL probing histogram (Fig. 7), and the
+table-style summary all derive from it.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+
+
+def format_scan_time(seconds: float) -> str:
+    """Render a duration the way the paper's tables do (``17:16.94`` or
+    ``1:00:15.21``)."""
+    if seconds < 0:
+        raise ValueError("negative duration")
+    hours = int(seconds // 3600)
+    minutes = int((seconds % 3600) // 60)
+    rest = seconds % 60
+    if hours:
+        return f"{hours}:{minutes:02d}:{rest:05.2f}"
+    return f"{minutes}:{rest:05.2f}"
+
+
+@dataclass
+class ScanResult:
+    """Everything one scan discovered and what it cost."""
+
+    tool: str
+    num_targets: int = 0
+
+    #: Prefix bits of one scanned block (24 = one target per /24; the keys
+    #: of ``routes``/``targets``/``dest_distance`` are ``addr >> (32 -
+    #: granularity)``).
+    granularity: int = 24
+
+    #: prefix index -> {ttl -> responder address} for TTL-exceeded hops.
+    routes: Dict[int, Dict[int, int]] = field(default_factory=dict)
+
+    #: prefix index -> measured hop distance of the destination (from
+    #: "unreachable"-family responses).
+    dest_distance: Dict[int, int] = field(default_factory=dict)
+
+    #: prefix index -> the representative address that was traced.
+    targets: Dict[int, int] = field(default_factory=dict)
+
+    probes_sent: int = 0
+    preprobe_probes: int = 0
+    responses: int = 0
+    mismatched_quotes: int = 0
+    #: Probes withheld by optimizations (Yarrp's neighborhood protection).
+    skipped_probes: int = 0
+    duration: float = 0.0
+    rounds: int = 0
+    aborted: bool = False
+
+    #: probes issued per TTL (Fig. 7's "targets with routes probed at a
+    #: given TTL"; each engine probes a (target, TTL) pair at most once).
+    ttl_probe_histogram: Counter = field(default_factory=Counter)
+
+    #: responses per semantic kind (ttl_exceeded, port_unreachable, ...).
+    response_kinds: Counter = field(default_factory=Counter)
+
+    rtt_sum_ms: float = 0.0
+    rtt_count: int = 0
+
+    # ------------------------------------------------------------------ #
+    # Recording (engines call these)
+    # ------------------------------------------------------------------ #
+
+    def add_hop(self, prefix: int, ttl: int, responder: int) -> None:
+        """Record a TTL-exceeded response: ``responder`` sits at ``ttl`` on
+        the route toward ``prefix``'s representative."""
+        hops = self.routes.get(prefix)
+        if hops is None:
+            hops = {}
+            self.routes[prefix] = hops
+        hops[ttl] = responder
+
+    def record_destination(self, prefix: int, distance: int) -> None:
+        """Record that the representative answered from ``distance`` hops."""
+        known = self.dest_distance.get(prefix)
+        if known is None or distance < known:
+            self.dest_distance[prefix] = distance
+
+    def add_rtt(self, rtt_ms: float) -> None:
+        self.rtt_sum_ms += rtt_ms
+        self.rtt_count += 1
+
+    # ------------------------------------------------------------------ #
+    # Derived views
+    # ------------------------------------------------------------------ #
+
+    def interfaces(self) -> Set[int]:
+        """Unique router interface addresses revealed by the scan."""
+        found: Set[int] = set()
+        for hops in self.routes.values():
+            found.update(hops.values())
+        return found
+
+    def interface_count(self) -> int:
+        return len(self.interfaces())
+
+    def route(self, prefix: int) -> List[Tuple[int, int]]:
+        """Sorted ``(ttl, responder)`` pairs for one prefix."""
+        return sorted(self.routes.get(prefix, {}).items())
+
+    def route_length(self, prefix: int) -> Optional[int]:
+        """Measured route length: the destination's distance if it answered,
+        else the deepest responding hop, else ``None``."""
+        distance = self.dest_distance.get(prefix)
+        if distance is not None:
+            return distance
+        hops = self.routes.get(prefix)
+        if hops:
+            return max(hops)
+        return None
+
+    def mean_rtt_ms(self) -> Optional[float]:
+        if self.rtt_count == 0:
+            return None
+        return self.rtt_sum_ms / self.rtt_count
+
+    def probes_per_target(self) -> float:
+        if self.num_targets == 0:
+            return 0.0
+        return self.probes_sent / self.num_targets
+
+    def summary(self) -> str:
+        """One table row in the paper's format."""
+        return (f"{self.tool}: interfaces={self.interface_count():,} "
+                f"probes={self.probes_sent:,} "
+                f"time={format_scan_time(self.duration)}")
+
+    def as_row(self) -> Dict[str, object]:
+        """Structured row used by the experiment drivers."""
+        return {
+            "tool": self.tool,
+            "interfaces": self.interface_count(),
+            "probes": self.probes_sent,
+            "scan_time": self.duration,
+            "scan_time_text": format_scan_time(self.duration),
+        }
+
+
+def union_interfaces(results: Iterable[ScanResult]) -> FrozenSet[int]:
+    """Interfaces discovered by any of several scans (discovery-optimized
+    mode reports the union of the main scan and its extra scans, §5.2)."""
+    combined: Set[int] = set()
+    for result in results:
+        combined.update(result.interfaces())
+    return frozenset(combined)

@@ -1,0 +1,92 @@
+"""Target selection: one representative address per /24 block.
+
+FlashRoute (like Yarrp and CAIDA's scans) traces a single address per /24.
+By default that address is drawn uniformly at random from the block; the
+tool can also load representatives from an external list, which is how the
+hitlist is plugged in for preprobing (paper §4.1.3 — and *only* for
+preprobing, to avoid the hitlist bias of §5.1 in the discovered topology).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Iterable, Optional
+
+from ..simnet.hitlist import hitlist_addresses
+from ..simnet.topology import Topology
+
+
+def random_targets(topology: Topology, seed: int,
+                   excluded: Optional[Iterable[int]] = None,
+                   granularity: int = 24) -> Dict[int, int]:
+    """One uniformly random host address per scanned block.
+
+    At the default granularity of 24 this is one target per /24, host
+    octets drawn from 1..254 (network and broadcast addresses skipped).
+    Finer granularities (the paper's §5.4 proposal) draw one target per
+    /``granularity`` block; keys are block indexes (``addr >>
+    (32 - granularity)``).  Deterministic in ``seed``.
+    """
+    if not 24 <= granularity <= 30:
+        raise ValueError("granularity must be within [24, 30]")
+    rng = random.Random(seed)
+    banned = frozenset(excluded) if excluded is not None else frozenset()
+    host_bits = 32 - granularity
+    span = 1 << host_bits
+    blocks_per_24 = 1 << (granularity - 24)
+    targets: Dict[int, int] = {}
+    for prefix in topology.scanned_prefixes():
+        for sub in range(blocks_per_24):
+            block = (prefix << (granularity - 24)) | sub
+            if block in banned:
+                continue
+            base = block << host_bits
+            # Redraw until the address avoids the /24's network and
+            # broadcast octets.
+            while True:
+                addr = base + rng.randrange(span)
+                if 1 <= addr & 0xFF <= 254:
+                    break
+            targets[block] = addr
+    return targets
+
+
+def hitlist_targets(topology: Topology,
+                    excluded: Optional[Iterable[int]] = None,
+                    granularity: int = 24) -> Dict[int, int]:
+    """The synthesized ISI-hitlist representative of every scanned block.
+
+    The census lists one address per /24; at finer granularities every
+    sub-block inherits its /24's hitlist address — the distance hint it
+    provides applies to the whole /24.
+    """
+    if not 24 <= granularity <= 30:
+        raise ValueError("granularity must be within [24, 30]")
+    banned = frozenset(excluded) if excluded is not None else frozenset()
+    blocks_per_24 = 1 << (granularity - 24)
+    targets: Dict[int, int] = {}
+    for prefix, addr in hitlist_addresses(topology).items():
+        for sub in range(blocks_per_24):
+            block = (prefix << (granularity - 24)) | sub
+            if block not in banned:
+                targets[block] = addr
+    return targets
+
+
+def targets_from_file(path: str) -> Dict[int, int]:
+    """Load representatives from a file of dotted quads, one per line.
+
+    Mirrors FlashRoute's exterior-file option; only one address per /24 is
+    kept (the last one wins, matching the tool's overwrite semantics).
+    """
+    from ..net.addr import ip_to_int
+
+    targets: Dict[int, int] = {}
+    with open(path, encoding="ascii") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            addr = ip_to_int(line)
+            targets[addr >> 8] = addr
+    return targets

@@ -1,0 +1,83 @@
+"""Wire-format substrate: IPv4 addresses, checksums, headers, ICMP errors.
+
+This package is the byte-level ground truth for everything FlashRoute encodes
+into its probes.  It has no dependencies on the simulator or the probing
+engines and can be reused standalone.
+"""
+
+from .addr import (
+    AddressError,
+    MAX_IPV4,
+    addr_in_prefix24,
+    cidr_to_range,
+    host_octet,
+    int_to_ip,
+    ip_to_int,
+    is_reserved,
+    iter_prefix24,
+    prefix24_base,
+    prefix24_of,
+    prefix_of,
+)
+from .checksum import addr_checksum, flow_source_port, internet_checksum, verify_checksum
+from .icmp import (
+    IcmpResponse,
+    ResponseKind,
+    distance_from_unreachable,
+    pack_icmp_error,
+    unpack_icmp_error,
+)
+from .pcap import PcapError, PcapRecord, PcapWriter, load_pcap, read_pcap
+from .packets import (
+    IPV4_HEADER_LEN,
+    PROTO_ICMP,
+    PROTO_TCP,
+    PROTO_UDP,
+    TCP_HEADER_LEN,
+    UDP_HEADER_LEN,
+    IPv4Header,
+    PacketError,
+    ProbeHeader,
+    TCPHeader,
+    UDPHeader,
+)
+
+__all__ = [
+    "AddressError",
+    "MAX_IPV4",
+    "addr_in_prefix24",
+    "cidr_to_range",
+    "host_octet",
+    "int_to_ip",
+    "ip_to_int",
+    "is_reserved",
+    "iter_prefix24",
+    "prefix24_base",
+    "prefix24_of",
+    "prefix_of",
+    "addr_checksum",
+    "flow_source_port",
+    "internet_checksum",
+    "verify_checksum",
+    "PcapError",
+    "PcapRecord",
+    "PcapWriter",
+    "load_pcap",
+    "read_pcap",
+    "IcmpResponse",
+    "ResponseKind",
+    "distance_from_unreachable",
+    "pack_icmp_error",
+    "unpack_icmp_error",
+    "IPV4_HEADER_LEN",
+    "PROTO_ICMP",
+    "PROTO_TCP",
+    "PROTO_UDP",
+    "TCP_HEADER_LEN",
+    "UDP_HEADER_LEN",
+    "IPv4Header",
+    "PacketError",
+    "ProbeHeader",
+    "TCPHeader",
+    "UDPHeader",
+]

@@ -1,0 +1,220 @@
+"""Byte-exact IPv4, UDP and TCP header handling.
+
+FlashRoute's probe encoding lives in real header fields — the IPv4
+identification field, the UDP length field, the UDP source port — and comes
+back quoted inside ICMP error payloads.  This module implements the packing
+and parsing of those headers so the encoding can be exercised end-to-end at
+the byte level.  The simulator's hot path passes the structured
+:class:`ProbeHeader` form around for speed; ``pack``/``unpack`` are the
+canonical definition of the wire format and are round-trip tested.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+
+from .checksum import internet_checksum
+
+IPV4_HEADER_LEN = 20
+UDP_HEADER_LEN = 8
+TCP_HEADER_LEN = 20
+
+PROTO_ICMP = 1
+PROTO_TCP = 6
+PROTO_UDP = 17
+
+
+class PacketError(ValueError):
+    """Raised when a packet buffer cannot be parsed."""
+
+
+@dataclass
+class IPv4Header:
+    """A minimal (option-less) IPv4 header."""
+
+    src: int
+    dst: int
+    proto: int
+    ttl: int
+    ident: int = 0
+    total_length: int = IPV4_HEADER_LEN
+    flags_fragment: int = 0
+    tos: int = 0
+
+    def pack(self, fill_checksum: bool = True) -> bytes:
+        """Serialize to 20 bytes; computes the header checksum by default."""
+        if not 0 <= self.ttl <= 255:
+            raise PacketError(f"TTL out of range: {self.ttl}")
+        if not 0 <= self.ident <= 0xFFFF:
+            raise PacketError(f"IPID out of range: {self.ident}")
+        header = struct.pack(
+            "!BBHHHBBHII",
+            (4 << 4) | 5,          # version 4, IHL 5 words
+            self.tos,
+            self.total_length,
+            self.ident,
+            self.flags_fragment,
+            self.ttl,
+            self.proto,
+            0,                     # checksum placeholder
+            self.src,
+            self.dst,
+        )
+        if not fill_checksum:
+            return header
+        checksum = internet_checksum(header)
+        return header[:10] + struct.pack("!H", checksum) + header[12:]
+
+    @classmethod
+    def unpack(cls, data: bytes) -> "IPv4Header":
+        """Parse the first 20 bytes of ``data`` as an IPv4 header."""
+        if len(data) < IPV4_HEADER_LEN:
+            raise PacketError(f"short IPv4 header: {len(data)} bytes")
+        (ver_ihl, tos, total_length, ident, flags_fragment,
+         ttl, proto, _checksum, src, dst) = struct.unpack("!BBHHHBBHII", data[:20])
+        if ver_ihl >> 4 != 4:
+            raise PacketError(f"not IPv4 (version {ver_ihl >> 4})")
+        if ver_ihl & 0xF != 5:
+            raise PacketError("IPv4 options are not supported")
+        return cls(src=src, dst=dst, proto=proto, ttl=ttl, ident=ident,
+                   total_length=total_length, flags_fragment=flags_fragment,
+                   tos=tos)
+
+
+@dataclass
+class UDPHeader:
+    """A UDP header.  ``length`` covers the header plus payload."""
+
+    src_port: int
+    dst_port: int
+    length: int = UDP_HEADER_LEN
+    checksum: int = 0
+
+    def pack(self) -> bytes:
+        for name, value in (("src_port", self.src_port),
+                            ("dst_port", self.dst_port),
+                            ("length", self.length)):
+            if not 0 <= value <= 0xFFFF:
+                raise PacketError(f"UDP {name} out of range: {value}")
+        return struct.pack("!HHHH", self.src_port, self.dst_port,
+                           self.length, self.checksum)
+
+    @classmethod
+    def unpack(cls, data: bytes) -> "UDPHeader":
+        if len(data) < UDP_HEADER_LEN:
+            raise PacketError(f"short UDP header: {len(data)} bytes")
+        src_port, dst_port, length, checksum = struct.unpack("!HHHH", data[:8])
+        return cls(src_port=src_port, dst_port=dst_port, length=length,
+                   checksum=checksum)
+
+
+@dataclass
+class TCPHeader:
+    """A minimal TCP header; Yarrp's default probes are TCP ACKs whose
+    sequence number carries the elapsed-time timestamp."""
+
+    src_port: int
+    dst_port: int
+    seq: int = 0
+    ack: int = 0
+    flags: int = 0x10  # ACK
+    window: int = 65535
+    checksum: int = 0
+    urgent: int = 0
+
+    def pack(self) -> bytes:
+        if not 0 <= self.seq <= 0xFFFFFFFF:
+            raise PacketError(f"TCP seq out of range: {self.seq}")
+        return struct.pack(
+            "!HHIIBBHHH",
+            self.src_port,
+            self.dst_port,
+            self.seq,
+            self.ack,
+            (5 << 4),              # data offset 5 words
+            self.flags,
+            self.window,
+            self.checksum,
+            self.urgent,
+        )
+
+    @classmethod
+    def unpack(cls, data: bytes) -> "TCPHeader":
+        if len(data) < TCP_HEADER_LEN:
+            raise PacketError(f"short TCP header: {len(data)} bytes")
+        (src_port, dst_port, seq, ack, _offset, flags,
+         window, checksum, urgent) = struct.unpack("!HHIIBBHHH", data[:20])
+        return cls(src_port=src_port, dst_port=dst_port, seq=seq, ack=ack,
+                   flags=flags, window=window, checksum=checksum,
+                   urgent=urgent)
+
+
+@dataclass
+class ProbeHeader:
+    """The structured form of a probe's outer headers.
+
+    This is what travels through the simulator: exactly the fields a real
+    ICMP error quotation preserves (the full IPv4 header plus the first
+    8 bytes of the transport header).  ``pack``/``unpack`` translate to and
+    from real bytes.
+    """
+
+    src: int
+    dst: int
+    ttl: int
+    ipid: int
+    proto: int = PROTO_UDP
+    src_port: int = 0
+    dst_port: int = 33434
+    udp_length: int = UDP_HEADER_LEN
+    tcp_seq: int = 0
+    payload: bytes = field(default=b"", repr=False)
+
+    def pack(self) -> bytes:
+        """Serialize the probe to wire bytes (IPv4 + transport + payload)."""
+        if self.proto == PROTO_UDP:
+            transport = UDPHeader(self.src_port, self.dst_port,
+                                  self.udp_length).pack()
+            body_len = max(self.udp_length, UDP_HEADER_LEN)
+            pad = b"\x00" * (body_len - UDP_HEADER_LEN - len(self.payload))
+            body = transport + self.payload + pad
+        elif self.proto == PROTO_TCP:
+            transport = TCPHeader(self.src_port, self.dst_port,
+                                  seq=self.tcp_seq).pack()
+            body = transport + self.payload
+        else:
+            raise PacketError(f"unsupported probe protocol: {self.proto}")
+        ip = IPv4Header(src=self.src, dst=self.dst, proto=self.proto,
+                        ttl=self.ttl, ident=self.ipid,
+                        total_length=IPV4_HEADER_LEN + len(body))
+        return ip.pack() + body
+
+    @classmethod
+    def unpack(cls, data: bytes) -> "ProbeHeader":
+        """Parse wire bytes back into a probe header.
+
+        Only the first 8 transport bytes are required, mirroring what an
+        ICMP quotation guarantees to carry.
+        """
+        ip = IPv4Header.unpack(data)
+        body = data[IPV4_HEADER_LEN:]
+        if ip.proto == PROTO_UDP:
+            udp = UDPHeader.unpack(body)
+            return cls(src=ip.src, dst=ip.dst, ttl=ip.ttl, ipid=ip.ident,
+                       proto=PROTO_UDP, src_port=udp.src_port,
+                       dst_port=udp.dst_port, udp_length=udp.length,
+                       payload=bytes(body[UDP_HEADER_LEN:]))
+        if ip.proto == PROTO_TCP:
+            if len(body) < 8:
+                raise PacketError("quotation too short for TCP ports+seq")
+            src_port, dst_port, seq = struct.unpack("!HHI", body[:8])
+            return cls(src=ip.src, dst=ip.dst, ttl=ip.ttl, ipid=ip.ident,
+                       proto=PROTO_TCP, src_port=src_port, dst_port=dst_port,
+                       tcp_seq=seq)
+        raise PacketError(f"unsupported quoted protocol: {ip.proto}")
+
+    def quotation(self) -> bytes:
+        """The bytes an ICMP error is required to quote: the IPv4 header
+        plus the first 8 bytes of the transport header."""
+        return self.pack()[:IPV4_HEADER_LEN + 8]

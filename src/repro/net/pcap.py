@@ -1,0 +1,109 @@
+"""Minimal pcap (libpcap classic format) writer and reader.
+
+FlashRoute offers an option to skip internal logging and leave response
+capture to an external sniffer (paper §4.2.3).  This module provides that
+sniffer-side artifact: probes and ICMP responses serialized as real pcap
+files (``LINKTYPE_RAW``, IPv4 packets with no link-layer header) that any
+standard tool — tcpdump, Wireshark, scapy — can open.
+
+Only the classic 24-byte-global-header/16-byte-record format is
+implemented; that is all the format a traceroute capture needs.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import BinaryIO, Iterator, List
+
+_MAGIC = 0xA1B2C3D4
+_VERSION_MAJOR = 2
+_VERSION_MINOR = 4
+_LINKTYPE_RAW = 101  # raw IPv4/IPv6 packets
+_SNAPLEN = 65535
+
+_GLOBAL_HEADER = struct.Struct("<IHHiIII")
+_RECORD_HEADER = struct.Struct("<IIII")
+
+
+class PcapError(ValueError):
+    """Raised on malformed pcap input."""
+
+
+@dataclass(frozen=True)
+class PcapRecord:
+    """One captured packet: a timestamp and raw IPv4 bytes."""
+
+    timestamp: float
+    data: bytes
+
+
+class PcapWriter:
+    """Streams packets into a classic pcap file.
+
+    Usage::
+
+        with open(path, "wb") as handle:
+            writer = PcapWriter(handle)
+            writer.write(send_time, probe_bytes)
+    """
+
+    def __init__(self, stream: BinaryIO) -> None:
+        self._stream = stream
+        self._count = 0
+        stream.write(_GLOBAL_HEADER.pack(
+            _MAGIC, _VERSION_MAJOR, _VERSION_MINOR,
+            0,              # thiszone (GMT)
+            0,              # sigfigs
+            _SNAPLEN,
+            _LINKTYPE_RAW))
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    def write(self, timestamp: float, data: bytes) -> None:
+        if timestamp < 0:
+            raise PcapError("negative capture timestamp")
+        seconds = int(timestamp)
+        micros = int(round((timestamp - seconds) * 1_000_000))
+        if micros == 1_000_000:
+            seconds += 1
+            micros = 0
+        length = len(data)
+        self._stream.write(_RECORD_HEADER.pack(seconds, micros,
+                                               min(length, _SNAPLEN), length))
+        self._stream.write(data[:_SNAPLEN])
+        self._count += 1
+
+
+def read_pcap(stream: BinaryIO) -> Iterator[PcapRecord]:
+    """Yield the records of a classic little-endian pcap stream."""
+    header = stream.read(_GLOBAL_HEADER.size)
+    if len(header) < _GLOBAL_HEADER.size:
+        raise PcapError("truncated pcap global header")
+    magic, major, minor, _zone, _sigfigs, _snaplen, linktype = \
+        _GLOBAL_HEADER.unpack(header)
+    if magic != _MAGIC:
+        raise PcapError(f"bad pcap magic: {magic:#x}")
+    if (major, minor) != (_VERSION_MAJOR, _VERSION_MINOR):
+        raise PcapError(f"unsupported pcap version {major}.{minor}")
+    if linktype != _LINKTYPE_RAW:
+        raise PcapError(f"unsupported linktype {linktype}")
+    while True:
+        record_header = stream.read(_RECORD_HEADER.size)
+        if not record_header:
+            return
+        if len(record_header) < _RECORD_HEADER.size:
+            raise PcapError("truncated pcap record header")
+        seconds, micros, captured, _original = \
+            _RECORD_HEADER.unpack(record_header)
+        data = stream.read(captured)
+        if len(data) < captured:
+            raise PcapError("truncated pcap record body")
+        yield PcapRecord(timestamp=seconds + micros / 1_000_000, data=data)
+
+
+def load_pcap(path: str) -> List[PcapRecord]:
+    with open(path, "rb") as handle:
+        return list(read_pcap(handle))

@@ -1,0 +1,43 @@
+"""Simulated Internet substrate.
+
+Replaces the paper's real-Internet vantage point (see DESIGN.md §2): a
+seeded synthetic topology with tree-like routes, stub networks, per-flow
+load balancers, middleboxes, ICMP rate limiting, and a virtual clock under
+which probing engines run deterministically.
+"""
+
+from .capture import CapturingNetwork, response_wire_bytes
+from .config import SCENARIOS, TopologyConfig, scaled_probing_rate, weighted_choice
+from .engine import ProbeLog, ResponseQueue, VirtualClock
+from .entities import HopKind, HopResult, PrefixInfo, Stub, lb_group_id, lb_offset, lb_token
+from .hitlist import hitlist_addresses, synthesize_hitlist
+from .latency import LatencyModel, jitter_fraction
+from .network import SimulatedNetwork
+from .ratelimit import IcmpRateLimiter
+from .topology import Topology
+
+__all__ = [
+    "CapturingNetwork",
+    "response_wire_bytes",
+    "SCENARIOS",
+    "TopologyConfig",
+    "scaled_probing_rate",
+    "weighted_choice",
+    "ProbeLog",
+    "ResponseQueue",
+    "VirtualClock",
+    "HopKind",
+    "HopResult",
+    "PrefixInfo",
+    "Stub",
+    "lb_group_id",
+    "lb_offset",
+    "lb_token",
+    "hitlist_addresses",
+    "synthesize_hitlist",
+    "LatencyModel",
+    "jitter_fraction",
+    "SimulatedNetwork",
+    "IcmpRateLimiter",
+    "Topology",
+]

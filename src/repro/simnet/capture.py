@@ -1,0 +1,71 @@
+"""Packet capture: run any scan while writing real wire bytes to pcap.
+
+FlashRoute's most performant mode leaves response logging to an external
+sniffer (paper §4.2.3).  :class:`CapturingNetwork` plays that sniffer: it
+wraps a :class:`~repro.simnet.network.SimulatedNetwork`, serializes every
+probe and every response to byte-exact IPv4 packets, and streams them into
+a pcap file that tcpdump/Wireshark/scapy can open.
+"""
+
+from __future__ import annotations
+
+from typing import BinaryIO, Optional
+
+from ..net.icmp import IcmpResponse, ResponseKind, pack_icmp_error
+from ..net.packets import PROTO_TCP, PROTO_UDP, ProbeHeader, TCPHeader, IPv4Header
+from ..net.pcap import PcapWriter
+from .network import SimulatedNetwork
+
+
+def response_wire_bytes(response: IcmpResponse, vantage: int) -> bytes:
+    """Wire bytes of a response as the vantage point's sniffer sees it."""
+    if response.kind is ResponseKind.TCP_RST:
+        # A RST has no ICMP quotation: ports swapped, no payload.
+        quoted = response.quoted
+        tcp = TCPHeader(src_port=quoted.dst_port, dst_port=quoted.src_port,
+                        seq=0, ack=quoted.tcp_seq, flags=0x14)  # RST|ACK
+        body = tcp.pack()
+        outer = IPv4Header(src=response.responder, dst=vantage,
+                           proto=PROTO_TCP, ttl=64,
+                           total_length=20 + len(body))
+        return outer.pack() + body
+    return pack_icmp_error(response.kind, response.responder, vantage,
+                           response.quoted.quotation())
+
+
+class CapturingNetwork:
+    """A transparent proxy that captures a scan's traffic to pcap.
+
+    Drop-in for :class:`SimulatedNetwork`: every engine in this library
+    only calls :meth:`send_probe` and reads attributes, both of which are
+    forwarded.
+    """
+
+    def __init__(self, network: SimulatedNetwork,
+                 stream: BinaryIO) -> None:
+        self._network = network
+        self._writer = PcapWriter(stream)
+
+    @property
+    def packets_captured(self) -> int:
+        return self._writer.count
+
+    def __getattr__(self, name: str):
+        return getattr(self._network, name)
+
+    def send_probe(self, dst: int, ttl: int, send_time: float,
+                   src_port: int, dst_port: int = 33434, ipid: int = 0,
+                   udp_length: int = 8, proto: int = PROTO_UDP,
+                   flow: Optional[int] = None) -> Optional[IcmpResponse]:
+        vantage = self._network.topology.vantage_addr
+        probe = ProbeHeader(src=vantage, dst=dst, ttl=ttl, ipid=ipid,
+                            proto=proto, src_port=src_port,
+                            dst_port=dst_port, udp_length=udp_length)
+        self._writer.write(send_time, probe.pack())
+        response = self._network.send_probe(
+            dst, ttl, send_time, src_port, dst_port=dst_port, ipid=ipid,
+            udp_length=udp_length, proto=proto, flow=flow)
+        if response is not None:
+            self._writer.write(response.arrival_time,
+                               response_wire_bytes(response, vantage))
+        return response

@@ -1,0 +1,91 @@
+"""Virtual-time machinery shared by all probing engines.
+
+The paper's tools decouple probe sending from response receiving with
+threads.  We reproduce the same information flow deterministically: a
+:class:`VirtualClock` advances as probes are emitted (spaced ``1/pps``
+apart), responses are scheduled on a :class:`ResponseQueue` at their
+computed arrival times, and each engine drains the queue up to the current
+virtual time before taking its next scheduling decision — exactly the
+feedback a receiving thread could have delivered by then, no more.
+"""
+
+from __future__ import annotations
+
+import heapq
+from array import array
+from typing import Iterator, List, Tuple
+
+from ..net.icmp import IcmpResponse
+
+
+class VirtualClock:
+    """A monotonically advancing virtual time in seconds."""
+
+    __slots__ = ("now",)
+
+    def __init__(self, start: float = 0.0) -> None:
+        self.now = start
+
+    def advance(self, seconds: float) -> float:
+        if seconds < 0:
+            raise ValueError("cannot advance the clock backwards")
+        self.now += seconds
+        return self.now
+
+    def advance_to(self, timestamp: float) -> float:
+        """Move to ``timestamp`` if it is in the future; never rewinds."""
+        if timestamp > self.now:
+            self.now = timestamp
+        return self.now
+
+
+class ResponseQueue:
+    """Min-heap of in-flight responses ordered by arrival time."""
+
+    def __init__(self) -> None:
+        self._heap: List[Tuple[float, int, IcmpResponse]] = []
+        self._seq = 0
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def push(self, response: IcmpResponse) -> None:
+        self._seq += 1
+        heapq.heappush(self._heap, (response.arrival_time, self._seq, response))
+
+    def pop_until(self, timestamp: float) -> Iterator[IcmpResponse]:
+        """Yield responses whose arrival time is <= ``timestamp``, in order."""
+        heap = self._heap
+        while heap and heap[0][0] <= timestamp:
+            yield heapq.heappop(heap)[2]
+
+    def drain(self) -> Iterator[IcmpResponse]:
+        """Yield every remaining response in arrival order."""
+        heap = self._heap
+        while heap:
+            yield heapq.heappop(heap)[2]
+
+
+class ProbeLog:
+    """Compact append-only log of (send_time, destination, ttl) triples.
+
+    Table 4's intrusiveness methodology replays each tool's real probe
+    timeline against an independently discovered topology; a full /24-scan
+    log holds millions of entries, so destinations and TTLs are packed into
+    one unsigned 64-bit array instead of tuples.
+    """
+
+    def __init__(self) -> None:
+        self._times = array("d")
+        self._packed = array("Q")
+
+    def __len__(self) -> int:
+        return len(self._times)
+
+    def append(self, send_time: float, dst: int, ttl: int) -> None:
+        self._times.append(send_time)
+        self._packed.append((dst << 8) | (ttl & 0xFF))
+
+    def __iter__(self) -> Iterator[Tuple[float, int, int]]:
+        for send_time, packed in zip(self._times, self._packed):
+            yield send_time, packed >> 8, packed & 0xFF

@@ -1,0 +1,65 @@
+"""Synthetic ISI Census hitlist with the bias the paper uncovers (§5.1).
+
+The real hitlist [18] records, for every routable /24, the address most
+responsive to ICMP pings over a long-running census.  The paper's finding is
+that those addresses skew toward gateway appliances at the entrance of stub
+networks, so tracerouting them measures shorter routes and misses interior
+interfaces.  We synthesize a hitlist with exactly that selection behaviour:
+
+1. if the stub's gateway appliance lives in the prefix and responds, pick it;
+2. else if the prefix holds an in-prefix internal router that responds and is
+   "appliance-like" (the shallowest one), sometimes pick it;
+3. else pick among the prefix's ping-responsive hosts — which only sometimes
+   coincide with the hosts that answer UDP probes;
+4. else pick a stable pseudo-random (dead) address, since the census always
+   lists something for a routable prefix.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import TYPE_CHECKING, Dict, List
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .topology import Topology
+
+
+def synthesize_hitlist(topology: "Topology", rng: random.Random) -> None:
+    """Fill ``hitlist_host`` on every prefix record of ``topology``."""
+    cfg = topology.config
+    for record in topology.prefixes:
+        stub = topology.stubs[record.stub_id]
+        pick = None
+
+        gateway_octet = None
+        appliance_octets: List[int] = []
+        for octet, iface in record.special_hosts.items():
+            if iface == stub.gateway_iface:
+                gateway_octet = octet
+            else:
+                appliance_octets.append(octet)
+
+        if gateway_octet is not None and topology.udp_resp[stub.gateway_iface]:
+            pick = gateway_octet
+        elif appliance_octets and rng.random() < 0.45:
+            responsive = [octet for octet in sorted(appliance_octets)
+                          if topology.udp_resp[record.special_hosts[octet]]]
+            if responsive:
+                pick = responsive[0]
+        if pick is None and record.active_hosts:
+            if rng.random() < cfg.hitlist_prefers_udp_responder:
+                pick = min(record.active_hosts)
+        if pick is None and record.ping_hosts:
+            pick = min(record.ping_hosts)
+        if pick is None:
+            pick = rng.randrange(2, 250)
+        record.hitlist_host = pick
+
+
+def hitlist_addresses(topology: "Topology") -> Dict[int, int]:
+    """Map of /24 prefix index -> the synthesized hitlist address."""
+    result: Dict[int, int] = {}
+    for offset, record in enumerate(topology.prefixes):
+        prefix_index = topology.base_prefix + offset
+        result[prefix_index] = (prefix_index << 8) | record.hitlist_host
+    return result

@@ -1,0 +1,41 @@
+"""Round-trip-time model.
+
+RTTs only need to be *plausible and deterministic*: FlashRoute derives them
+from the probe-encoded millisecond timestamp, and the tests verify the
+decoder recovers exactly what the simulator imposed.  We charge a fixed
+per-hop latency both ways plus a deterministic pseudo-random jitter keyed on
+the probe identity, so repeated runs are identical without a shared RNG.
+"""
+
+from __future__ import annotations
+
+_JITTER_MULT = 1103515245
+_JITTER_INC = 12345
+
+
+def jitter_fraction(dst: int, ttl: int, salt: int = 0) -> float:
+    """Deterministic jitter in [0, 1) keyed on probe identity."""
+    value = (dst * _JITTER_MULT + ttl * 2654435761 + salt + _JITTER_INC)
+    return ((value >> 8) & 0xFFFF) / 65536.0
+
+
+class LatencyModel:
+    """Computes one-way and round-trip delays for a probe."""
+
+    def __init__(self, hop_latency: float, jitter_span: float) -> None:
+        if hop_latency <= 0:
+            raise ValueError("hop_latency must be positive")
+        if jitter_span < 0:
+            raise ValueError("latency_jitter must be non-negative")
+        self.hop_latency = hop_latency
+        self.jitter_span = jitter_span
+
+    def one_way(self, depth: int, dst: int, ttl: int) -> float:
+        """Vantage point -> responder delay for a probe expiring at depth."""
+        return (self.hop_latency * max(depth, 1)
+                + 0.5 * self.jitter_span * jitter_fraction(dst, ttl))
+
+    def round_trip(self, depth: int, dst: int, ttl: int) -> float:
+        """Probe departure -> response arrival delay."""
+        return (2.0 * self.hop_latency * max(depth, 1)
+                + self.jitter_span * jitter_fraction(dst, ttl, salt=1))

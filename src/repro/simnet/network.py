@@ -1,0 +1,170 @@
+"""The probe-answering network: topology + dynamics.
+
+:class:`SimulatedNetwork` wraps the static :class:`~repro.simnet.topology.
+Topology` ground truth with everything that varies at probe time: interface
+responsiveness per probe protocol, per-interface ICMP rate limiting, latency,
+route-dynamics epochs, destination-rewriting middleboxes, and an optional
+probe log for the intrusiveness analysis.
+
+``send_probe`` is the single entry point every probing engine uses.  It is
+deliberately scalar-argument (no per-probe object is allocated unless a
+response exists) because full scans push through 10^5..10^7 probes.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..net.icmp import IcmpResponse, ResponseKind
+from ..net.packets import PROTO_TCP, PROTO_UDP, ProbeHeader, UDP_HEADER_LEN
+from .engine import ProbeLog
+from .entities import HopKind
+from .latency import LatencyModel
+from .ratelimit import IcmpRateLimiter
+from .topology import Topology
+
+_HOST_HASH_MULT = 2654435761
+
+
+class SimulatedNetwork:
+    """Answers probes against a topology, with dynamic per-scan state.
+
+    Create one per scan (or call :meth:`reset` between scans) so rate-limit
+    bins and counters start clean, mirroring independent real-world runs.
+    """
+
+    def __init__(self, topology: Topology, log_probes: bool = False,
+                 rate_limit: Optional[int] = None) -> None:
+        self.topology = topology
+        cfg = topology.config
+        self.latency = LatencyModel(cfg.hop_latency, cfg.latency_jitter)
+        self.rate_limiter = IcmpRateLimiter(
+            rate_limit if rate_limit is not None else cfg.icmp_rate_limit)
+        self.probe_log: Optional[ProbeLog] = ProbeLog() if log_probes else None
+        self.probes_sent = 0
+        self.responses_generated = 0
+        self.rewritten_responses = 0
+
+    def reset(self) -> None:
+        """Clear dynamic state between scans over the same topology."""
+        self.rate_limiter.reset()
+        if self.probe_log is not None:
+            self.probe_log = ProbeLog()
+        self.probes_sent = 0
+        self.responses_generated = 0
+        self.rewritten_responses = 0
+
+    # ------------------------------------------------------------------ #
+
+    def _epoch(self, send_time: float) -> int:
+        return int(send_time / self.topology.config.flap_epoch_seconds)
+
+    def _host_answers_tcp(self, dst: int) -> bool:
+        digest = ((dst * _HOST_HASH_MULT) >> 13) & 0xFFFF
+        return digest / 65536.0 < self.topology.config.host_tcp_rst
+
+    def _rewritten_dst(self, dst: int) -> int:
+        """Destination as rewritten by the stub's middlebox (same /24,
+        different host octet, so the checksum-derived source port no longer
+        matches, paper §5.3)."""
+        return (dst & 0xFFFFFF00) | ((dst + 97) & 0xFF)
+
+    def send_probe(self, dst: int, ttl: int, send_time: float,
+                   src_port: int, dst_port: int = 33434, ipid: int = 0,
+                   udp_length: int = UDP_HEADER_LEN, proto: int = PROTO_UDP,
+                   flow: Optional[int] = None) -> Optional[IcmpResponse]:
+        """Inject one probe; return its response, or ``None`` for silence.
+
+        ``flow`` is the load-balancer flow identifier and defaults to the
+        source port (per-flow balancers hash the 5-tuple; within one scan
+        FlashRoute keeps ports constant per destination, so the flow only
+        changes across discovery-optimized extra scans).
+        """
+        self.probes_sent += 1
+        if self.probe_log is not None:
+            self.probe_log.append(send_time, dst, ttl)
+
+        topo = self.topology
+        hop = topo.hop_at(dst, ttl, flow=flow if flow is not None else src_port,
+                          epoch=self._epoch(send_time))
+        kind = hop.kind
+        if kind is HopKind.VOID:
+            return None
+
+        if kind in (HopKind.ROUTER, HopKind.LOOP_ROUTER):
+            iface = hop.iface
+            responsive = (topo.tcp_resp[iface] if proto == PROTO_TCP
+                          else topo.udp_resp[iface])
+            if not responsive:
+                return None
+            depth = ttl
+            if not self.rate_limiter.allow(
+                    iface, send_time + self.latency.one_way(depth, dst, ttl)):
+                return None
+            return self._respond(ResponseKind.TTL_EXCEEDED,
+                                 topo.iface_addrs[iface], dst, ttl,
+                                 residual=1, depth=depth,
+                                 send_time=send_time, src_port=src_port,
+                                 dst_port=dst_port, ipid=ipid,
+                                 udp_length=udp_length, proto=proto)
+
+        if kind is HopKind.GATEWAY_UNREACHABLE:
+            iface = hop.iface
+            responsive = (topo.tcp_resp[iface] if proto == PROTO_TCP
+                          else topo.udp_resp[iface])
+            if not responsive:
+                return None
+            stub = topo.stubs[topo.prefixes[topo.prefix_offset(dst)].stub_id]
+            depth = stub.gateway_depth
+            if not self.rate_limiter.allow(
+                    iface, send_time + self.latency.one_way(depth, dst, ttl)):
+                return None
+            return self._respond(ResponseKind.HOST_UNREACHABLE,
+                                 topo.iface_addrs[iface], dst, ttl,
+                                 residual=1, depth=depth,
+                                 send_time=send_time, src_port=src_port,
+                                 dst_port=dst_port, ipid=ipid,
+                                 udp_length=udp_length, proto=proto,
+                                 maybe_rewrite=stub.rewrite)
+
+        # Destination reached.
+        depth = hop.dest_depth
+        if proto == PROTO_TCP:
+            if not self._host_answers_tcp(dst):
+                return None
+            response_kind = ResponseKind.TCP_RST
+        else:
+            response_kind = ResponseKind.PORT_UNREACHABLE
+        if hop.iface >= 0:
+            # A router interface probed directly: its ICMP generation is
+            # subject to the same rate limiting.
+            if not self.rate_limiter.allow(
+                    hop.iface,
+                    send_time + self.latency.one_way(depth, dst, ttl)):
+                return None
+        record = topo.prefixes[topo.prefix_offset(dst)]
+        stub = topo.stubs[record.stub_id]
+        return self._respond(response_kind, dst, dst, ttl,
+                             residual=hop.residual_ttl, depth=depth,
+                             send_time=send_time, src_port=src_port,
+                             dst_port=dst_port, ipid=ipid,
+                             udp_length=udp_length, proto=proto,
+                             maybe_rewrite=stub.rewrite)
+
+    def _respond(self, kind: ResponseKind, responder: int, dst: int,
+                 ttl: int, residual: int, depth: int, send_time: float,
+                 src_port: int, dst_port: int, ipid: int, udp_length: int,
+                 proto: int, maybe_rewrite: bool = False) -> IcmpResponse:
+        quoted_dst = dst
+        if maybe_rewrite:
+            quoted_dst = self._rewritten_dst(dst)
+            self.rewritten_responses += 1
+        quoted = ProbeHeader(src=self.topology.vantage_addr, dst=quoted_dst,
+                             ttl=residual, ipid=ipid, proto=proto,
+                             src_port=src_port, dst_port=dst_port,
+                             udp_length=udp_length)
+        self.responses_generated += 1
+        arrival = send_time + self.latency.round_trip(depth, dst, ttl)
+        return IcmpResponse(kind=kind, responder=responder, quoted=quoted,
+                            arrival_time=arrival,
+                            quoted_residual_ttl=residual)

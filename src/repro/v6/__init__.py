@@ -1,0 +1,51 @@
+"""The IPv6 extension (paper §5.4, prototyped).
+
+Sparse hash-based control state, target-list-driven scanning, payload-based
+probe encoding — the redesign the paper says IPv6 requires, running over a
+simulated sparse v6 Internet.
+"""
+
+from .dcb_store import Dcb6, SparseDCBStore
+from .encoding6 import (
+    DecodedProbe6,
+    Encoding6Error,
+    ProbeMarking6,
+    addr6_checksum,
+    decode_payload6,
+    destination_intact6,
+    encode_probe6,
+    flow_source_port6,
+    rtt_ms6,
+)
+from .prober6 import FlashRoute6, FlashRoute6Config, exhaustive_scan6
+from .topology6 import (
+    Response6,
+    SimulatedNetwork6,
+    Site6,
+    Subnet6,
+    Topology6,
+    TopologyConfig6,
+)
+
+__all__ = [
+    "Dcb6",
+    "SparseDCBStore",
+    "DecodedProbe6",
+    "Encoding6Error",
+    "ProbeMarking6",
+    "addr6_checksum",
+    "decode_payload6",
+    "destination_intact6",
+    "encode_probe6",
+    "flow_source_port6",
+    "rtt_ms6",
+    "FlashRoute6",
+    "FlashRoute6Config",
+    "exhaustive_scan6",
+    "Response6",
+    "SimulatedNetwork6",
+    "Site6",
+    "Subnet6",
+    "Topology6",
+    "TopologyConfig6",
+]

@@ -1,0 +1,142 @@
+"""Sparse destination control state for IPv6 (paper §5.4).
+
+The IPv4 scanner indexes its DCBs with a flat 2^24-slot array, which "will
+no longer be possible" for IPv6: allocated space is sparse [20] and the
+prefix universe (2^64 /64s) dwarfs any array.  The redesign the paper
+anticipates is implemented here: a hash-based store — a dict of per-target
+blocks keyed by the /64 subnet — that still satisfies both thread's
+demands from §3.4:
+
+* the receive path locates any block in O(1) from the subnet of the quoted
+  destination (dict lookup instead of array indexing);
+* the send path walks a shuffled circular ring threaded through the blocks
+  and unlinks finished ones in O(1) (explicit next/prev keys instead of
+  array indexes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, List, Optional
+
+from ..core.permutation import FeistelPermutation
+
+
+@dataclass
+class Dcb6:
+    """One IPv6 destination's control block (Listing 1, 128-bit edition)."""
+
+    __slots__ = ("destination", "split_ttl", "next_backward", "next_forward",
+                 "forward_horizon", "dest_reached", "removed",
+                 "next_key", "prev_key")
+
+    destination: int
+    split_ttl: int
+    next_backward: int
+    next_forward: int
+    forward_horizon: int
+    dest_reached: bool
+    removed: bool
+    next_key: int
+    prev_key: int
+
+
+class SparseDCBStore:
+    """Hash-based DCB store with an overlaid shuffled ring."""
+
+    def __init__(self, destinations: Iterable[int], split_ttl: int,
+                 gap_limit: int, seed: int = 1) -> None:
+        if not 1 <= split_ttl <= 255:
+            raise ValueError("split_ttl out of byte range")
+        ordered: List[int] = []
+        self._blocks: Dict[int, Dcb6] = {}
+        for destination in destinations:
+            key = destination >> 64
+            if key in self._blocks:
+                # One target per /64, like the IPv4 scanner's one per /24.
+                continue
+            ordered.append(key)
+            self._blocks[key] = Dcb6(
+                destination=destination,
+                split_ttl=split_ttl,
+                next_backward=split_ttl,
+                next_forward=split_ttl + 1,
+                forward_horizon=split_ttl + gap_limit,
+                dest_reached=False,
+                removed=True,  # linked below
+                next_key=key,
+                prev_key=key,
+            )
+        if not ordered:
+            raise ValueError("need at least one destination")
+
+        permutation = FeistelPermutation(len(ordered), seed)
+        sequence = [ordered[position] for position in permutation]
+        previous = sequence[-1]
+        for key in sequence:
+            block = self._blocks[key]
+            block.prev_key = previous
+            self._blocks[previous].next_key = key
+            block.removed = False
+            previous = key
+        self._head: Optional[int] = sequence[0]
+        self._live = len(sequence)
+
+    # ------------------------------------------------------------------ #
+
+    def __len__(self) -> int:
+        return self._live
+
+    def __contains__(self, key: int) -> bool:
+        return key in self._blocks
+
+    def get(self, key: int) -> Optional[Dcb6]:
+        """O(1) receive-path lookup by /64 subnet key."""
+        return self._blocks.get(key)
+
+    @property
+    def head(self) -> Optional[int]:
+        return self._head
+
+    def remove(self, key: int) -> None:
+        """Unlink a finished destination from the ring in O(1)."""
+        block = self._blocks[key]
+        if block.removed:
+            return
+        if block.next_key == key:
+            self._head = None
+        else:
+            self._blocks[block.prev_key].next_key = block.next_key
+            self._blocks[block.next_key].prev_key = block.prev_key
+            if self._head == key:
+                self._head = block.next_key
+        block.removed = True
+        self._live -= 1
+
+    def iter_ring(self) -> Iterator[int]:
+        """One trip around the ring; tolerant of removing the yielded key."""
+        count = self._live
+        key = self._head
+        while count > 0 and key is not None:
+            nxt = self._blocks[key].next_key
+            yield key
+            key = nxt
+            count -= 1
+
+    def set_distance(self, key: int, distance: int, gap_limit: int) -> None:
+        block = self._blocks[key]
+        block.split_ttl = distance
+        block.next_backward = distance
+        block.next_forward = distance + 1
+        block.forward_horizon = distance + gap_limit
+
+    def memory_footprint(self) -> int:
+        """Approximate bytes of the sparse store — proportional to the
+        *target list*, not to the 2^64 /64 universe."""
+        import sys
+
+        total = sys.getsizeof(self._blocks)
+        for key, block in self._blocks.items():
+            total += sys.getsizeof(key)
+            total += sys.getsizeof(block)
+        return total

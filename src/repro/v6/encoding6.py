@@ -1,0 +1,108 @@
+"""Probe encoding for the IPv6 extension.
+
+IPv6 headers have no identification field, so the IPv4 trick of hiding
+state in the IPID is unavailable.  Like Yarrp6, the v6 probes carry their
+state in bytes the ICMPv6 error quotes back — ICMPv6 errors return as much
+of the invoking packet as fits in the minimum MTU, so a small UDP payload
+always survives.  The layout mirrors the IPv4 encoding semantically:
+
+* payload bytes 0..1 — initial TTL (6 bits) and a preprobe flag;
+* payload bytes 2..3 — 16-bit millisecond timestamp;
+* UDP source port   — Internet checksum of the 16 destination bytes
+  (Paris flow id + in-flight rewrite detection, as in §3.1/§5.3).
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+from ..net.checksum import internet_checksum
+
+TIMESTAMP_WRAP_MS = 1 << 16
+_PREPROBE_BIT = 0x40
+_TTL_MASK = 0x3F
+
+MAX_ENCODABLE_TTL_V6 = 63
+
+
+class Encoding6Error(ValueError):
+    """Raised when fields cannot carry the requested values."""
+
+
+@dataclass(frozen=True)
+class ProbeMarking6:
+    """Header/payload values encoding one IPv6 probe's state."""
+
+    payload: bytes
+    src_port: int
+
+
+@dataclass(frozen=True)
+class DecodedProbe6:
+    """State recovered from a quoted IPv6 probe."""
+
+    initial_ttl: int
+    is_preprobe: bool
+    timestamp_ms: int
+    dst: int
+    src_port: int
+
+
+def addr6_checksum(addr: int) -> int:
+    """Checksum of the 16 destination bytes, folded to [1024, 65535]."""
+    if not 0 <= addr < 2**128:
+        raise Encoding6Error(f"address out of range: {addr:#x}")
+    checksum = internet_checksum(addr.to_bytes(16, "big"))
+    if checksum < 1024:
+        checksum += 1024
+    return checksum
+
+
+def flow_source_port6(addr: int, scan_offset: int = 0) -> int:
+    """Source port for extra-scan flow variation (§5.2 in v6)."""
+    port = addr6_checksum(addr) + scan_offset
+    window = 65536 - 1024
+    return 1024 + (port - 1024) % window
+
+
+def encode_probe6(dst: int, initial_ttl: int, send_time: float,
+                  is_preprobe: bool = False,
+                  scan_offset: int = 0) -> ProbeMarking6:
+    """Compute the payload and source port for one v6 probe."""
+    if not 1 <= initial_ttl <= MAX_ENCODABLE_TTL_V6:
+        raise Encoding6Error(
+            f"initial TTL {initial_ttl} does not fit in 6 bits")
+    flags = initial_ttl & _TTL_MASK
+    if is_preprobe:
+        flags |= _PREPROBE_BIT
+    timestamp = int(send_time * 1000.0) % TIMESTAMP_WRAP_MS
+    payload = struct.pack("!BBH", flags, 0, timestamp)
+    return ProbeMarking6(payload=payload,
+                         src_port=flow_source_port6(dst, scan_offset))
+
+
+def decode_payload6(payload: bytes, dst: int,
+                    src_port: int) -> DecodedProbe6:
+    """Recover the encoded state from a quoted probe payload."""
+    if len(payload) < 4:
+        raise Encoding6Error("quoted payload too short")
+    flags, _reserved, timestamp = struct.unpack("!BBH", payload[:4])
+    return DecodedProbe6(
+        initial_ttl=flags & _TTL_MASK,
+        is_preprobe=bool(flags & _PREPROBE_BIT),
+        timestamp_ms=timestamp,
+        dst=dst,
+        src_port=src_port,
+    )
+
+
+def destination_intact6(decoded: DecodedProbe6, scan_offset: int = 0) -> bool:
+    """True if the quoted destination still matches its checksum port."""
+    return flow_source_port6(decoded.dst, scan_offset) == decoded.src_port
+
+
+def rtt_ms6(decoded: DecodedProbe6, receive_time: float) -> float:
+    """Round-trip time from the quoted timestamp, wrap-safe (< ~65.5 s)."""
+    now_ms = int(receive_time * 1000.0)
+    return float((now_ms - decoded.timestamp_ms) % TIMESTAMP_WRAP_MS)

@@ -1,0 +1,65 @@
+"""Shared fixtures: one small topology per session, fresh networks per test.
+
+The topology is deterministic (seeded), so expensive generation happens once
+and tests can assert exact properties against it.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.targets import hitlist_targets, random_targets
+from repro.simnet.config import TopologyConfig
+from repro.simnet.network import SimulatedNetwork
+from repro.simnet.topology import Topology
+
+SMALL_PREFIXES = 512
+TINY_PREFIXES = 128
+
+
+@pytest.fixture(scope="session")
+def small_topology() -> Topology:
+    """512-prefix topology shared (read-only) by most tests."""
+    return Topology(TopologyConfig(num_prefixes=SMALL_PREFIXES, seed=7))
+
+
+@pytest.fixture(scope="session")
+def tiny_topology() -> Topology:
+    """128-prefix topology for the heavier integration scans."""
+    return Topology(TopologyConfig(num_prefixes=TINY_PREFIXES, seed=3))
+
+
+@pytest.fixture()
+def network(small_topology: Topology) -> SimulatedNetwork:
+    """A fresh network (clean rate limiter/counters) over the shared
+    topology."""
+    return SimulatedNetwork(small_topology)
+
+
+@pytest.fixture()
+def tiny_network(tiny_topology: Topology) -> SimulatedNetwork:
+    return SimulatedNetwork(tiny_topology)
+
+
+@pytest.fixture(scope="session")
+def small_targets(small_topology: Topology):
+    return random_targets(small_topology, seed=1)
+
+
+@pytest.fixture(scope="session")
+def small_hitlist(small_topology: Topology):
+    return hitlist_targets(small_topology)
+
+
+@pytest.fixture(scope="session")
+def tiny_targets(tiny_topology: Topology):
+    return random_targets(tiny_topology, seed=1)
+
+
+def first_prefix_with(topology: Topology, predicate) -> int:
+    """Test helper: the first scanned /24 whose PrefixInfo satisfies
+    ``predicate``; raises if none exists (so tests fail loudly)."""
+    for offset, record in enumerate(topology.prefixes):
+        if predicate(record, topology.stubs[record.stub_id]):
+            return topology.base_prefix + offset
+    raise AssertionError("no prefix satisfies the predicate")

@@ -1,0 +1,96 @@
+"""IPv6 address parsing/formatting and prefix math."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.net.addr6 import (
+    Address6Error,
+    MAX_IPV6,
+    addr_in_subnet64,
+    cidr6_to_range,
+    int_to_ip6,
+    ip6_to_int,
+    prefix6_of,
+    subnet64_of,
+)
+
+
+class TestParse:
+    @pytest.mark.parametrize("text,value", [
+        ("::", 0),
+        ("::1", 1),
+        ("2001:db8::1", 0x20010db8000000000000000000000001),
+        ("fe80::", 0xfe800000000000000000000000000000),
+        ("1:2:3:4:5:6:7:8", 0x00010002000300040005000600070008),
+        ("ffff:ffff:ffff:ffff:ffff:ffff:ffff:ffff", MAX_IPV6),
+    ])
+    def test_known_values(self, text, value):
+        assert ip6_to_int(text) == value
+
+    @pytest.mark.parametrize("bad", [
+        "", ":", ":::", "1::2::3", "12345::", "g::", "1:2:3:4:5:6:7",
+        "1:2:3:4:5:6:7:8:9", "1:2:3:4:5:6:7:8::",
+    ])
+    def test_rejects_malformed(self, bad):
+        with pytest.raises(Address6Error):
+            ip6_to_int(bad)
+
+
+class TestFormat:
+    @pytest.mark.parametrize("value,text", [
+        (0, "::"),
+        (1, "::1"),
+        (0x20010db8000000000000000000000001, "2001:db8::1"),
+        (0x00010002000300040005000600070008, "1:2:3:4:5:6:7:8"),
+    ])
+    def test_canonical(self, value, text):
+        assert int_to_ip6(value) == text
+
+    def test_longest_zero_run_compressed(self):
+        # 1:0:0:2:0:0:0:3 -> the later, longer run gets the '::'.
+        value = ip6_to_int("1:0:0:2:0:0:0:3")
+        assert int_to_ip6(value) == "1:0:0:2::3"
+
+    def test_single_zero_group_not_compressed(self):
+        value = ip6_to_int("1:0:2:3:4:5:6:7")
+        assert int_to_ip6(value) == "1:0:2:3:4:5:6:7"
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(Address6Error):
+            int_to_ip6(2**128)
+        with pytest.raises(Address6Error):
+            int_to_ip6(-1)
+
+    @given(st.integers(min_value=0, max_value=MAX_IPV6))
+    def test_round_trip(self, value):
+        assert ip6_to_int(int_to_ip6(value)) == value
+
+
+class TestPrefixMath:
+    def test_prefix6_of(self):
+        addr = ip6_to_int("2001:db8:1:2::99")
+        assert int_to_ip6(prefix6_of(addr, 48)) == "2001:db8:1::"
+
+    def test_prefix_zero(self):
+        assert prefix6_of(MAX_IPV6, 0) == 0
+
+    def test_subnet64(self):
+        addr = ip6_to_int("2001:db8:1:2::99")
+        assert subnet64_of(addr) == addr >> 64
+
+    def test_compose(self):
+        addr = ip6_to_int("2001:db8::42")
+        assert addr_in_subnet64(subnet64_of(addr), 0x42) == addr
+
+    def test_compose_rejects_bad_interface_id(self):
+        with pytest.raises(Address6Error):
+            addr_in_subnet64(0, 2**64)
+
+    def test_cidr_range(self):
+        first, last = cidr6_to_range("2001:db8::/64")
+        assert last - first + 1 == 2**64
+        assert int_to_ip6(first) == "2001:db8::"
+
+    def test_cidr_rejects_bad_length(self):
+        with pytest.raises(Address6Error):
+            cidr6_to_range("2001:db8::/129")

@@ -1,0 +1,100 @@
+"""Distance accuracy analysis (Figs. 3-4 machinery)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis.distances import (
+    difference_distribution,
+    full_prediction_coverage,
+    measurement_accuracy,
+    prediction_accuracy,
+    prediction_neighbourhood_coverage,
+)
+
+
+class TestDifferenceDistribution:
+    def test_exact_match(self):
+        dist = difference_distribution({1: 10, 2: 12}, {1: 10, 2: 12})
+        assert dist.fraction_exact() == 1.0
+        assert dist.samples == 2
+
+    def test_off_by_one(self):
+        dist = difference_distribution({1: 11}, {1: 10})
+        assert dist.pdf == {1: 1.0}
+        assert dist.fraction_exact() == 0.0
+        assert dist.fraction_within(1) == 1.0
+
+    def test_only_common_keys_count(self):
+        dist = difference_distribution({1: 10, 2: 12}, {1: 10, 9: 9})
+        assert dist.samples == 1
+
+    def test_empty(self):
+        dist = difference_distribution({}, {1: 5})
+        assert dist.samples == 0
+        assert dist.pdf == {}
+        assert dist.fraction_exact() == 0.0
+
+    def test_cdf_monotone_to_one(self):
+        dist = difference_distribution({1: 10, 2: 11, 3: 15},
+                                       {1: 10, 2: 10, 3: 10})
+        cdf = dist.cdf()
+        values = [cdf[k] for k in sorted(cdf)]
+        assert values == sorted(values)
+        assert values[-1] == pytest.approx(1.0)
+
+    @given(st.dictionaries(st.integers(0, 50), st.integers(1, 32),
+                           min_size=1, max_size=30))
+    def test_pdf_sums_to_one(self, reference):
+        candidate = {k: max(1, v - 1) for k, v in reference.items()}
+        dist = difference_distribution(reference, candidate)
+        assert sum(dist.pdf.values()) == pytest.approx(1.0)
+
+
+class TestMeasurementAccuracy:
+    def test_direction_is_reference_minus_candidate(self):
+        dist = measurement_accuracy(measured={1: 10}, triggering={1: 13})
+        assert dist.pdf == {3: 1.0}
+
+
+class TestPredictionAccuracy:
+    def test_perfect_neighbours(self):
+        measured = {i: 15 for i in range(10)}
+        dist = prediction_accuracy(measured, proximity_span=5,
+                                   num_prefixes=10)
+        assert dist.fraction_exact() == 1.0
+
+    def test_isolated_measurements_unpredictable(self):
+        measured = {0: 10, 50: 20}
+        dist = prediction_accuracy(measured, proximity_span=5,
+                                   num_prefixes=100)
+        assert dist.samples == 0
+
+    def test_uses_external_reference(self):
+        measured = {0: 10, 1: 10}
+        reference = {0: 12, 1: 12}
+        dist = prediction_accuracy(measured, 5, 10, reference=reference)
+        # predictions are 10, reference 12 -> diff -2
+        assert dist.pdf == {-2: 1.0}
+
+    def test_leave_one_out_excludes_self(self):
+        # Two adjacent blocks with different distances can never predict
+        # themselves exactly.
+        measured = {0: 10, 1: 20}
+        dist = prediction_accuracy(measured, 5, 10)
+        assert dist.fraction_exact() == 0.0
+
+
+class TestCoverage:
+    def test_neighbourhood_coverage(self):
+        assert prediction_neighbourhood_coverage({0: 5, 1: 5}, 5) == 1.0
+        assert prediction_neighbourhood_coverage({0: 5, 50: 5}, 5) == 0.0
+        assert prediction_neighbourhood_coverage({}, 5) == 0.0
+
+    def test_full_coverage(self):
+        # One measurement covers itself plus span on each side.
+        assert full_prediction_coverage({10: 5}, 100, 5) == \
+            pytest.approx(11 / 100)
+
+    def test_full_coverage_caps_at_one(self):
+        measured = {i: 5 for i in range(10)}
+        assert full_prediction_coverage(measured, 10, 5) == 1.0

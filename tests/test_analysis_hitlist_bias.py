@@ -1,0 +1,96 @@
+"""§5.1 hitlist-bias analysis on synthetic scan pairs."""
+
+import pytest
+
+from repro.analysis.hitlist_bias import analyze_hitlist_bias
+from repro.core.results import ScanResult
+
+
+def _scan(tool, routes, dests, targets):
+    result = ScanResult(tool=tool)
+    result.targets = dict(targets)
+    for prefix, hops in routes.items():
+        for ttl, responder in hops.items():
+            result.add_hop(prefix, ttl, responder)
+    for prefix, distance in dests.items():
+        result.record_destination(prefix, distance)
+    return result
+
+
+@pytest.fixture()
+def scans():
+    # Prefix 100: hitlist target is the gateway (distance 3); the random
+    # target sits behind it (distance 5) revealing interior hops 0xC1, 0xC2.
+    # Prefix 101: hitlist responds, random does not and its route loops.
+    # Prefix 102: both respond at equal distance.
+    targets_h = {100: (100 << 8) | 1, 101: (101 << 8) | 1,
+                 102: (102 << 8) | 1}
+    targets_r = {100: (100 << 8) | 77, 101: (101 << 8) | 99,
+                 102: (102 << 8) | 50}
+    hitlist = _scan(
+        "hitlist",
+        {100: {1: 0xA1, 2: 0xA2},
+         101: {1: 0xA1, 2: 0xB2},
+         102: {1: 0xA1}},
+        {100: 3, 101: 3, 102: 2},
+        targets_h)
+    random_scan = _scan(
+        "random",
+        {100: {1: 0xA1, 2: 0xA2, 3: (100 << 8) | 1, 4: 0xC2},
+         101: {1: 0xA1, 2: 0xB2, 3: 0xB9, 4: 0xB2},  # 0xB2 repeats: loop
+         102: {1: 0xA1}},
+        {100: 5, 102: 2},
+        targets_r)
+    return hitlist, random_scan
+
+
+class TestAnalyzeHitlistBias:
+    def test_interface_counts(self, scans):
+        report = analyze_hitlist_bias(*scans)
+        assert report.random_interfaces > report.hitlist_interfaces
+
+    def test_route_length_asymmetry(self, scans):
+        report = analyze_hitlist_bias(*scans)
+        assert report.random_longer >= 1
+        assert report.random_longer > report.hitlist_longer
+
+    def test_responsive_counts(self, scans):
+        report = analyze_hitlist_bias(*scans)
+        assert report.hitlist_responsive == 3
+        assert report.random_responsive == 2
+
+    def test_both_responsive_subset(self, scans):
+        report = analyze_hitlist_bias(*scans)
+        assert report.both_responsive == 2
+        assert report.both_random_longer == 1
+        assert report.both_hitlist_longer == 0
+
+    def test_hitlist_target_on_random_route_detected(self, scans):
+        report = analyze_hitlist_bias(*scans)
+        # The hitlist target of prefix 100 appears as hop 3 of the random
+        # scan's route.
+        assert report.hitlist_on_random_routes == 1
+        assert report.random_on_hitlist_routes == 0
+
+    def test_loop_detection(self, scans):
+        report = analyze_hitlist_bias(*scans)
+        assert report.unresponsive_random_with_responsive_hitlist == 1
+        assert report.looped_routes == 1
+        assert report.loop_fraction() == 1.0
+
+    def test_tail_interfaces(self, scans):
+        report = analyze_hitlist_bias(*scans)
+        # 0xC2 (and the target hop) sit beyond the hitlist route's end.
+        assert report.random_extra_tail_interfaces >= 1
+
+    def test_interface_gap(self, scans):
+        report = analyze_hitlist_bias(*scans)
+        assert report.interface_gap() == (report.random_interfaces
+                                          - report.hitlist_interfaces)
+
+    def test_empty_scans(self):
+        empty_a = _scan("a", {}, {}, {})
+        empty_b = _scan("b", {}, {}, {})
+        report = analyze_hitlist_bias(empty_a, empty_b)
+        assert report.loop_fraction() == 0.0
+        assert report.both_responsive == 0

@@ -1,0 +1,83 @@
+"""Table 4 methodology: probe-log replay against a reference topology."""
+
+import pytest
+
+from repro.analysis.intrusiveness import (
+    TopologyMap,
+    analyze_overprobing,
+    scaled_rate_limit,
+)
+from repro.core.results import ScanResult
+
+
+def _reference():
+    result = ScanResult(tool="ref")
+    result.add_hop(100, 1, 0xAA)   # prefix 100, ttl 1 -> interface 0xAA
+    result.add_hop(100, 2, 0xBB)
+    result.add_hop(101, 1, 0xAA)   # shared near hop
+    return result
+
+
+class TestTopologyMap:
+    def test_lookup(self):
+        topo_map = TopologyMap(_reference())
+        assert topo_map.interface_for(100 << 8 | 7, 1) == 0xAA
+        assert topo_map.interface_for(100 << 8 | 7, 2) == 0xBB
+
+    def test_unknown_pair_is_none(self):
+        topo_map = TopologyMap(_reference())
+        assert topo_map.interface_for(100 << 8, 9) is None
+        assert topo_map.interface_for(999 << 8, 1) is None
+
+    def test_len(self):
+        assert len(TopologyMap(_reference())) == 3
+
+
+class TestAnalyzeOverprobing:
+    def test_under_limit_no_overprobing(self):
+        log = [(0.1 * i, 100 << 8, 1) for i in range(5)]
+        report = analyze_overprobing("t", log, TopologyMap(_reference()),
+                                     rate_limit=10)
+        assert report.overprobed_interfaces == 0
+        assert report.dropped_probes == 0
+        assert report.probes_mapped == 5
+
+    def test_over_limit_counts_drops(self):
+        # 8 probes to the same interface within one second, limit 5.
+        log = [(0.05 * i, (100 << 8) | i, 1) for i in range(4)]
+        log += [(0.3 + 0.05 * i, (101 << 8) | i, 1) for i in range(4)]
+        report = analyze_overprobing("t", log, TopologyMap(_reference()),
+                                     rate_limit=5)
+        assert report.overprobed_interfaces == 1  # 0xAA
+        assert report.dropped_probes == 3
+
+    def test_bins_are_per_second(self):
+        # Same volume spread over two seconds stays under the limit.
+        log = [(0.1 * i, 100 << 8, 1) for i in range(4)]
+        log += [(1.1 + 0.1 * i, 100 << 8, 1) for i in range(4)]
+        report = analyze_overprobing("t", log, TopologyMap(_reference()),
+                                     rate_limit=5)
+        assert report.overprobed_interfaces == 0
+
+    def test_unmapped_probes_ignored(self):
+        log = [(0.0, 999 << 8, 1)] * 100
+        report = analyze_overprobing("t", log, TopologyMap(_reference()),
+                                     rate_limit=1)
+        assert report.probes_mapped == 0
+        assert report.overprobed_interfaces == 0
+
+    def test_rejects_bad_limit(self):
+        with pytest.raises(ValueError):
+            analyze_overprobing("t", [], TopologyMap(_reference()),
+                                rate_limit=0)
+
+
+class TestScaledRateLimit:
+    def test_paper_scale_identity(self):
+        assert scaled_rate_limit(500, 2**24) == 500
+
+    def test_floor_of_one(self):
+        assert scaled_rate_limit(500, 16) == 1
+
+    def test_proportional(self):
+        assert scaled_rate_limit(500, 2**23) == 250

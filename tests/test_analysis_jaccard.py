@@ -1,0 +1,72 @@
+"""Per-hop Jaccard analysis (Fig. 8 machinery)."""
+
+import pytest
+
+from repro.analysis.jaccard import (
+    interfaces_by_hops_from_destination,
+    jaccard,
+    jaccard_by_hops_from_destination,
+)
+from repro.core.results import ScanResult
+
+
+class TestJaccard:
+    def test_identical(self):
+        assert jaccard({1, 2}, {1, 2}) == 1.0
+
+    def test_disjoint(self):
+        assert jaccard({1}, {2}) == 0.0
+
+    def test_partial(self):
+        assert jaccard({1, 2}, {2, 3}) == pytest.approx(1 / 3)
+
+    def test_both_empty_defined_as_one(self):
+        assert jaccard(set(), set()) == 1.0
+
+    def test_one_empty(self):
+        assert jaccard({1}, set()) == 0.0
+
+
+def _scan_with_route(prefix, hops, dest_distance=None):
+    result = ScanResult(tool="t")
+    result.targets[prefix] = (prefix << 8) | 1
+    for ttl, responder in hops.items():
+        result.add_hop(prefix, ttl, responder)
+    if dest_distance is not None:
+        result.record_destination(prefix, dest_distance)
+    return result
+
+
+class TestGrouping:
+    def test_hops_back_from_responding_destination(self):
+        scan = _scan_with_route(7, {3: 100, 4: 101}, dest_distance=5)
+        grouped = interfaces_by_hops_from_destination(scan, max_back=4)
+        assert grouped[1] == {101}
+        assert grouped[2] == {100}
+
+    def test_falls_back_to_deepest_hop(self):
+        # Without a destination response, the deepest hop + 1 is the end.
+        scan = _scan_with_route(7, {3: 100, 4: 101})
+        grouped = interfaces_by_hops_from_destination(scan, max_back=4)
+        assert grouped[1] == {101}
+        assert grouped[2] == {100}
+
+    def test_out_of_window_hops_ignored(self):
+        scan = _scan_with_route(7, {1: 99, 9: 101}, dest_distance=10)
+        grouped = interfaces_by_hops_from_destination(scan, max_back=3)
+        assert 99 not in {i for back in grouped.values() for i in back}
+
+
+class TestFigure8Shape:
+    def test_identical_scans_all_ones(self):
+        scan = _scan_with_route(7, {3: 100, 4: 101}, dest_distance=5)
+        series = jaccard_by_hops_from_destination(scan, scan, max_back=5)
+        assert all(value == 1.0 for value in series.values())
+
+    def test_last_hop_divergence_detected(self):
+        hitlist = _scan_with_route(7, {3: 100, 4: 101}, dest_distance=5)
+        random_scan = _scan_with_route(7, {3: 100, 4: 999}, dest_distance=5)
+        series = jaccard_by_hops_from_destination(hitlist, random_scan,
+                                                  max_back=3)
+        assert series[1] == 0.0   # divergent right before the destination
+        assert series[2] == 1.0   # identical farther back

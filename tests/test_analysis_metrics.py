@@ -1,0 +1,85 @@
+"""Cross-tool metric helpers."""
+
+import pytest
+
+from repro.analysis.metrics import (
+    comparison_rows,
+    coverage_against_topology,
+    describe,
+    interface_depth_histogram,
+    missed_interfaces,
+    route_length_distribution,
+    speedup_summary,
+    targets_probed_per_ttl,
+)
+from repro.core.config import FlashRouteConfig
+from repro.core.prober import FlashRoute
+from repro.core.results import ScanResult
+from repro.simnet.network import SimulatedNetwork
+
+
+def _result():
+    result = ScanResult(tool="t", num_targets=2)
+    result.targets = {100: (100 << 8) | 1, 101: (101 << 8) | 2}
+    result.add_hop(100, 1, 0xAA)
+    result.add_hop(100, 2, 0xBB)
+    result.add_hop(101, 1, 0xAA)
+    result.record_destination(100, 3)
+    result.probes_sent = 10
+    result.duration = 5.0
+    result.ttl_probe_histogram.update({1: 2, 2: 1})
+    return result
+
+
+class TestHistograms:
+    def test_interface_depth_uses_shallowest(self):
+        result = _result()
+        result.add_hop(101, 5, 0xBB)  # 0xBB also seen deeper
+        histogram = interface_depth_histogram(result)
+        assert histogram == {1: 1, 2: 1}
+
+    def test_targets_probed_per_ttl(self):
+        assert targets_probed_per_ttl(_result()) == {1: 2, 2: 1}
+
+    def test_route_length_distribution(self):
+        lengths = route_length_distribution(_result())
+        assert lengths == {3: 1, 1: 1}
+
+
+class TestComparison:
+    def test_rows(self):
+        rows = comparison_rows([_result()])
+        assert rows[0]["tool"] == "t"
+        assert rows[0]["interfaces"] == 2
+
+    def test_missed_interfaces(self):
+        a = _result()
+        b = ScanResult(tool="b")
+        b.add_hop(100, 1, 0xAA)
+        assert missed_interfaces(b, a) == {0xBB}
+
+    def test_speedup_summary(self):
+        fast = _result()
+        slow = ScanResult(tool="slow", num_targets=2)
+        slow.probes_sent = 40
+        slow.duration = 20.0
+        slow.add_hop(100, 1, 0xAA)
+        summary = speedup_summary(fast, slow)
+        assert summary["time_ratio"] == pytest.approx(4.0)
+        assert summary["probe_ratio"] == pytest.approx(4.0)
+        assert summary["interface_ratio"] == pytest.approx(2.0)
+
+    def test_describe(self):
+        text = describe([_result(), _result()])
+        assert text.count("t:") == 2
+
+
+class TestCoverage:
+    def test_scan_covers_most_reachable(self, tiny_topology, tiny_targets):
+        scan = FlashRoute(FlashRouteConfig.yarrp32_udp_simulation()).scan(
+            SimulatedNetwork(tiny_topology), targets=tiny_targets)
+        coverage = coverage_against_topology(scan, tiny_topology)
+        # The denominator is a loose upper bound: it includes LB alternates
+        # and the interiors of every active prefix, which a single scan of
+        # one (usually unassigned) random address per /24 cannot traverse.
+        assert 0.15 < coverage <= 1.0

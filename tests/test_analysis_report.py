@@ -1,0 +1,69 @@
+"""Text rendering helpers."""
+
+import pytest
+
+from repro.analysis.report import (
+    fraction_within,
+    render_distribution,
+    render_pdf_cdf,
+    render_table,
+    sparkline,
+)
+
+
+class TestRenderTable:
+    def test_contains_headers_and_cells(self):
+        text = render_table(["Tool", "Probes"], [["FlashRoute", 1234567]])
+        assert "Tool" in text
+        assert "FlashRoute" in text
+        assert "1,234,567" in text
+
+    def test_title(self):
+        text = render_table(["a"], [["b"]], title="My Table")
+        assert text.splitlines()[0] == "My Table"
+
+    def test_alignment(self):
+        text = render_table(["col"], [["short"], ["a-much-longer-cell"]])
+        lines = text.splitlines()
+        assert len(lines[-1]) >= len("a-much-longer-cell")
+
+    def test_rejects_ragged_rows(self):
+        with pytest.raises(ValueError):
+            render_table(["a", "b"], [["only-one"]])
+
+    def test_float_formatting(self):
+        assert "3.14" in render_table(["x"], [[3.14159]])
+
+
+class TestSparkline:
+    def test_empty(self):
+        assert sparkline([]) == ""
+
+    def test_constant_series(self):
+        assert sparkline([5, 5, 5]) == "▁▁▁"
+
+    def test_monotone_series_ends_high(self):
+        line = sparkline([0, 1, 2, 3])
+        assert line[0] == "▁"
+        assert line[-1] == "█"
+
+    def test_length_matches(self):
+        assert len(sparkline(list(range(10)))) == 10
+
+
+class TestDistributions:
+    def test_render_distribution_lists_keys(self):
+        text = render_distribution({1: 0.5, 2: 0.25}, "title", percent=True)
+        assert "50.00%" in text
+        assert "title" in text
+
+    def test_render_pdf_cdf_accumulates(self):
+        text = render_pdf_cdf({0: 0.6, 1: 0.4}, "fig")
+        assert "100.00%" in text
+        assert "60.00%" in text
+
+    def test_fraction_within(self):
+        pdf = {-2: 0.1, -1: 0.2, 0: 0.4, 1: 0.2, 2: 0.1}
+        assert fraction_within(pdf, 0) == pytest.approx(0.4)
+        assert fraction_within(pdf, 1) == pytest.approx(0.8)
+        assert fraction_within(pdf, 2) == pytest.approx(1.0)

@@ -1,0 +1,101 @@
+"""Command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+class TestScanCommand:
+    def test_default_scan(self, capsys):
+        assert main(["scan", "--prefixes", "128", "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "FlashRoute-16" in out
+        assert "interfaces=" in out
+
+    def test_json_output(self, capsys):
+        assert main(["scan", "--prefixes", "128", "--seed", "3",
+                     "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["tool"] == "FlashRoute-16"
+        assert payload["probes"] > 0
+        assert "scan_time_text" in payload
+
+    @pytest.mark.parametrize("tool", ["flashroute-32", "yarrp-32",
+                                      "scamper-16", "yarrp-32-udp-sim"])
+    def test_other_tools(self, capsys, tool):
+        assert main(["scan", "--tool", tool, "--prefixes", "128",
+                     "--seed", "3"]) == 0
+        assert "interfaces=" in capsys.readouterr().out
+
+    def test_overrides(self, capsys):
+        assert main(["scan", "--prefixes", "128", "--seed", "3",
+                     "--split-ttl", "8", "--gap-limit", "2",
+                     "--preprobe", "none", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["probes"] > 0
+
+    def test_rejects_unknown_tool(self):
+        with pytest.raises(SystemExit):
+            main(["scan", "--tool", "nmap"])
+
+
+class TestExperimentCommand:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "table3" in out
+        assert "fig8" in out
+
+    def test_run_table1(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_PREFIXES", "128")
+        monkeypatch.setenv("REPRO_BENCH_SEED", "3")
+        assert main(["experiment", "table1"]) == 0
+        assert "Redundancy" in capsys.readouterr().out
+
+    def test_rejects_unknown_experiment(self):
+        with pytest.raises(SystemExit):
+            main(["experiment", "table99"])
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+
+class TestScanOutputs:
+    def test_output_json(self, tmp_path, capsys):
+        path = tmp_path / "scan.json"
+        assert main(["scan", "--prefixes", "128", "--seed", "3",
+                     "--output", str(path)]) == 0
+        from repro.core.output import load_json
+        result = load_json(str(path))
+        assert result.probes_sent > 0
+
+    def test_output_csv(self, tmp_path, capsys):
+        path = tmp_path / "scan.csv"
+        assert main(["scan", "--prefixes", "128", "--seed", "3",
+                     "--output", str(path)]) == 0
+        text = path.read_text()
+        assert text.startswith("prefix,target,ttl,interface,is_destination")
+        assert text.count("\n") > 10
+
+    def test_output_rejects_unknown_extension(self, tmp_path):
+        import pytest as _pytest
+        with _pytest.raises(SystemExit):
+            main(["scan", "--prefixes", "128", "--seed", "3",
+                  "--output", str(tmp_path / "scan.xml")])
+
+    def test_pcap_capture(self, tmp_path, capsys):
+        path = tmp_path / "scan.pcap"
+        assert main(["scan", "--prefixes", "128", "--seed", "3",
+                     "--pcap", str(path)]) == 0
+        from repro.net.pcap import load_pcap
+        records = load_pcap(str(path))
+        assert len(records) > 100
+
+    def test_holes_experiment(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_PREFIXES", "128")
+        monkeypatch.setenv("REPRO_BENCH_SEED", "3")
+        assert main(["experiment", "holes"]) == 0
+        assert "route completeness" in capsys.readouterr().out

@@ -1,0 +1,179 @@
+"""Experiment drivers: every table/figure driver runs end to end on a tiny
+topology and produces sane structured output."""
+
+import pytest
+
+from repro.experiments import (
+    ExperimentContext,
+    bench_prefix_count,
+    run_discovery_experiment,
+    run_fig3,
+    run_fig4,
+    run_fig6,
+    run_fig7,
+    run_fig8,
+    run_neighborhood_protection,
+    run_proximity_span_ablation,
+    run_rewrite_detection,
+    run_round_pacing_ablation,
+    run_table1,
+    run_table2,
+    run_table3,
+    run_table4,
+    run_table5,
+)
+
+
+@pytest.fixture(scope="module")
+def context(tiny_topology):
+    return ExperimentContext(topology=tiny_topology)
+
+
+class TestEnvironment:
+    def test_bench_prefix_count_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_PREFIXES", "2222")
+        assert bench_prefix_count() == 2222
+
+    def test_bench_prefix_count_rejects_zero(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_PREFIXES", "0")
+        with pytest.raises(ValueError):
+            bench_prefix_count()
+
+    def test_context_shares_targets(self, context):
+        assert len(context.random_targets) == context.topology.num_prefixes
+        assert len(context.hitlist) == context.topology.num_prefixes
+
+
+class TestTableDrivers:
+    def test_table1_rows_and_effect(self, context):
+        result = run_table1(context)
+        assert len(result.rows) == 4
+        # Redundancy removal saves probes at both split TTLs.
+        for split in (32, 16):
+            on = next(r for r in result.rows if r[0] == split and r[1] == "On")
+            off = next(r for r in result.rows
+                       if r[0] == split and r[1] == "Off")
+            assert on[3] < off[3]
+        assert "Redundancy" in result.render()
+
+    def test_table2_six_rows(self, context):
+        result = run_table2(context)
+        assert len(result.rows) == 6
+        labels = [row[0] for row in result.rows]
+        assert "16/hitlist preprobing" in labels
+        assert "32/no preprobing" in labels
+
+    def test_table3_tools_and_ordering(self, context):
+        result = run_table3(context)
+        labels = [row[0] for row in result.rows]
+        assert labels[0] == "FlashRoute-16"
+        by_label = {row[0]: row for row in result.rows}
+        # FlashRoute-16 uses fewer probes than Yarrp-32.
+        assert by_label["FlashRoute-16"][2] < by_label["Yarrp-32"][2]
+        # The UDP simulation issues exactly 32 probes per target.
+        assert by_label["Yarrp-32-UDP (Simulation)"][2] == \
+            32 * len(context.random_targets)
+
+    def test_table4_reports_all_tools(self, context):
+        result = run_table4(context)
+        labels = [row[0] for row in result.rows]
+        assert len(labels) == 5
+        assert all(isinstance(row[1], int) and isinstance(row[2], int)
+                   for row in result.rows)
+
+    def test_table5_rates_positive(self, context):
+        result = run_table5(context)
+        assert len(result.rows) == 4
+        for row in result.rows:
+            assert row.rate_pps > 0
+        assert "Scan Speed" in result.render()
+
+    def test_neighborhood_protection_rows(self, context):
+        result = run_neighborhood_protection(context)
+        assert len(result.rows) == 3
+
+
+class TestFigureDrivers:
+    def test_fig3_mostly_exact(self, context):
+        result = run_fig3(context)
+        assert result.distribution.samples > 0
+        assert result.distribution.fraction_exact() > 0.6
+        assert "Figure 3" in result.render()
+
+    def test_fig4_renders(self, context):
+        result = run_fig4(context)
+        assert 0 <= result.neighbourhood_coverage <= 1
+        assert "Figure 4" in result.render()
+
+    def test_fig6_monotone_interfaces(self, context):
+        result = run_fig6(context, gap_limits=(0, 1, 5))
+        interfaces = result.interfaces_series()
+        assert interfaces[0] <= interfaces[1] <= interfaces[5]
+        times = result.time_series()
+        assert times[0] <= times[5]
+
+    def test_fig7_histograms(self, context):
+        result = run_fig7(context)
+        n = len(context.random_targets)
+        # Scamper probes every target at its first TTL; FlashRoute's
+        # preprobing moves some split points away from 16.
+        assert result.scamper[16] == n
+        assert result.flashroute[16] >= 0.5 * n
+
+    def test_fig8_bias_direction(self, context):
+        result = run_fig8(context)
+        report = result.report
+        assert report.hitlist_responsive > report.random_responsive
+        assert 1 in result.jaccard_by_hop
+        assert "Figure 8" in result.render()
+
+
+class TestExtraDrivers:
+    def test_discovery_experiment(self, context):
+        result = run_discovery_experiment(context, extra_scans=2)
+        assert len(result.discovery.extras) == 2
+        assert "discovery-optimized" in result.render()
+
+    def test_rewrite_detection_rates_bounded(self, context):
+        result = run_rewrite_detection(context, seeds=(1, 2))
+        for _tool, _responses, _mismatches, rate in result.rows:
+            # One rewrite stub can cover a visible share of a 128-prefix
+            # space; the benchmark checks the tighter full-scale bound.
+            assert 0.0 <= rate < 0.05
+
+    def test_span_ablation(self, context):
+        result = run_proximity_span_ablation(context, spans=(0, 5))
+        assert len(result.rows) == 2
+        # Span 5 covers at least as much as span 0.
+        cov0 = float(result.rows[0][1].rstrip("%"))
+        cov5 = float(result.rows[1][1].rstrip("%"))
+        assert cov5 >= cov0
+
+    def test_pacing_ablation(self, context):
+        result = run_round_pacing_ablation(context, round_seconds=(0.0, 1.0))
+        assert len(result.rows) == 2
+
+
+class TestNewDrivers:
+    def test_route_holes_driver(self, context):
+        from repro.experiments import run_route_holes
+
+        result = run_route_holes(context)
+        assert len(result.rows) == 2
+        assert result.holes("FlashRoute-16") >= 0
+        assert "route completeness" in result.render()
+        with pytest.raises(KeyError):
+            result.holes("nonexistent")
+
+    def test_granularity_future_work_driver(self, context):
+        from repro.experiments import run_granularity_future_work
+
+        result = run_granularity_future_work(context, fine_granularity=25,
+                                             extra_scans=1)
+        labels = [row[0] for row in result.rows]
+        assert labels[0] == "baseline one-per-/24"
+        assert "one-per-/25" in labels
+        assert any("varying dst" in label for label in labels)
+        # Memory column reflects the exponential DCB cost.
+        memory = {row[0]: row[4] for row in result.rows}
+        assert memory["one-per-/25"] != memory["baseline one-per-/24"]

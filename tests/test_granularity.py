@@ -1,0 +1,108 @@
+"""Fine-granularity scanning and destination-varying discovery (§5.4)."""
+
+import pytest
+
+from repro.core.config import FlashRouteConfig
+from repro.core.discovery import run_discovery_optimized
+from repro.core.prober import FlashRoute
+from repro.core.targets import hitlist_targets, random_targets
+from repro.simnet.network import SimulatedNetwork
+
+
+class TestFineTargets:
+    def test_one_target_per_block(self, tiny_topology):
+        targets = random_targets(tiny_topology, seed=1, granularity=26)
+        assert len(targets) == 4 * tiny_topology.num_prefixes
+        for block, addr in targets.items():
+            assert addr >> 6 == block
+
+    def test_targets_avoid_network_and_broadcast(self, tiny_topology):
+        for granularity in (24, 26, 28, 30):
+            targets = random_targets(tiny_topology, seed=1,
+                                     granularity=granularity)
+            for addr in targets.values():
+                assert 1 <= addr & 0xFF <= 254
+
+    def test_blocks_tile_each_prefix(self, tiny_topology):
+        targets = random_targets(tiny_topology, seed=1, granularity=28)
+        prefixes = {block >> 4 for block in targets}
+        assert prefixes == set(tiny_topology.scanned_prefixes())
+
+    def test_hitlist_inherits_per_24_pick(self, tiny_topology):
+        coarse = hitlist_targets(tiny_topology)
+        fine = hitlist_targets(tiny_topology, granularity=26)
+        assert len(fine) == 4 * len(coarse)
+        for block, addr in fine.items():
+            assert addr == coarse[block >> 2]
+
+    def test_rejects_bad_granularity(self, tiny_topology):
+        with pytest.raises(ValueError):
+            random_targets(tiny_topology, 1, granularity=23)
+        with pytest.raises(ValueError):
+            random_targets(tiny_topology, 1, granularity=31)
+
+    def test_config_rejects_bad_granularity(self):
+        with pytest.raises(ValueError):
+            FlashRouteConfig(granularity=33)
+
+
+class TestFineScan:
+    @pytest.fixture(scope="class")
+    def fine_scan(self, tiny_topology):
+        config = FlashRouteConfig.flashroute_32(granularity=26)
+        return FlashRoute(config).scan(SimulatedNetwork(tiny_topology),
+                                       tool_name="fine-26")
+
+    @pytest.fixture(scope="class")
+    def coarse_scan(self, tiny_topology):
+        return FlashRoute(FlashRouteConfig.flashroute_32()).scan(
+            SimulatedNetwork(tiny_topology), tool_name="coarse-24")
+
+    def test_scan_completes(self, fine_scan, tiny_topology):
+        assert not fine_scan.aborted
+        assert fine_scan.num_targets == 4 * tiny_topology.num_prefixes
+        assert fine_scan.granularity == 26
+
+    def test_routes_keyed_by_block(self, fine_scan, tiny_topology):
+        base_block = tiny_topology.base_prefix * 4
+        top_block = base_block + 4 * tiny_topology.num_prefixes
+        for block in fine_scan.routes:
+            assert base_block <= block < top_block
+
+    def test_hops_are_real_interfaces(self, fine_scan, tiny_topology):
+        assert fine_scan.interfaces() <= set(tiny_topology.iface_addrs)
+
+    def test_finds_more_interior_interfaces(self, fine_scan, coarse_scan):
+        """Multiple targets per /24 reach the interiors behind more
+        distinct last-hop routers (the point of the §5.4 proposal)."""
+        assert fine_scan.interface_count() >= coarse_scan.interface_count()
+
+    def test_costs_more_probes(self, fine_scan, coarse_scan):
+        assert fine_scan.probes_sent > 2 * coarse_scan.probes_sent
+
+    def test_dest_distances_true(self, fine_scan, tiny_topology):
+        for block, measured in fine_scan.dest_distance.items():
+            target = fine_scan.targets[block]
+            truth = {tiny_topology.destination_distance(target, epoch=epoch)
+                     for epoch in (0, 1)}
+            assert measured in truth
+
+
+class TestVaryingDestinationDiscovery:
+    def test_extras_trace_fresh_targets(self, tiny_topology, tiny_targets):
+        result = run_discovery_optimized(SimulatedNetwork(tiny_topology),
+                                         extra_scans=2, targets=tiny_targets,
+                                         vary_destination=True)
+        for extra in result.extras:
+            assert extra.targets != tiny_targets
+
+    def test_varying_destination_finds_at_least_fixed(self, tiny_topology,
+                                                      tiny_targets):
+        fixed = run_discovery_optimized(SimulatedNetwork(tiny_topology),
+                                        extra_scans=2, targets=tiny_targets,
+                                        vary_destination=False)
+        varied = run_discovery_optimized(SimulatedNetwork(tiny_topology),
+                                         extra_scans=2, targets=tiny_targets,
+                                         vary_destination=True)
+        # New addresses cross new last-hop routers; fixed ones cannot.
+        assert len(varied.interfaces()) >= len(fixed.interfaces())

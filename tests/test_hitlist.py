@@ -1,0 +1,85 @@
+"""Synthesized ISI hitlist: selection rule and the bias it encodes."""
+
+import random
+
+import pytest
+
+from repro.simnet.config import TopologyConfig
+from repro.simnet.hitlist import hitlist_addresses, synthesize_hitlist
+from repro.simnet.topology import Topology
+
+
+class TestSynthesis:
+    def test_every_prefix_gets_a_pick(self, small_topology):
+        for record in small_topology.prefixes:
+            assert 1 <= record.hitlist_host <= 254
+
+    def test_gateway_preferred_when_responsive(self, small_topology):
+        topo = small_topology
+        for stub in topo.stubs:
+            if not topo.udp_resp[stub.gateway_iface]:
+                continue
+            record = topo.prefixes[stub.first_offset]
+            gateway_octet = topo.iface_addrs[stub.gateway_iface] & 0xFF
+            assert record.hitlist_host == gateway_octet
+
+    def test_deterministic(self, small_topology):
+        before = [record.hitlist_host for record in small_topology.prefixes]
+        synthesize_hitlist(small_topology,
+                           random.Random(small_topology.config.seed ^ 0x48495453))
+        after = [record.hitlist_host for record in small_topology.prefixes]
+        assert before == after
+
+    def test_addresses_map(self, small_topology):
+        addresses = hitlist_addresses(small_topology)
+        assert len(addresses) == small_topology.num_prefixes
+        for prefix, addr in addresses.items():
+            assert addr >> 8 == prefix
+
+
+class TestEncodedBias:
+    """The structural properties §5.1 measures must hold by construction."""
+
+    def test_hitlist_prefers_shallower_destinations(self, small_topology):
+        """Averaged over prefixes where both are assigned, the hitlist pick
+        sits no deeper than a random assigned host."""
+        topo = small_topology
+        hit_depths = []
+        host_depths = []
+        for offset, record in enumerate(topo.prefixes):
+            prefix = topo.base_prefix + offset
+            hit_dst = (prefix << 8) | record.hitlist_host
+            hit_depth = topo.destination_distance(hit_dst)
+            if hit_depth is not None:
+                hit_depths.append(hit_depth)
+            if record.active_hosts:
+                host = (prefix << 8) | max(record.active_hosts)
+                host_depth = topo.destination_distance(host)
+                if host_depth is not None:
+                    host_depths.append(host_depth)
+        assert hit_depths and host_depths
+        assert (sum(hit_depths) / len(hit_depths)
+                <= sum(host_depths) / len(host_depths))
+
+    def test_some_hitlist_picks_are_on_path_appliances(self, small_topology):
+        """A visible share of hitlist picks are router interfaces (gateway
+        or interior appliances) — the paper's periphery preference."""
+        topo = small_topology
+        appliance_picks = sum(
+            1 for record in topo.prefixes
+            if record.hitlist_host in record.special_hosts)
+        assert appliance_picks > 0.02 * topo.num_prefixes
+
+    def test_hitlist_more_ping_responsive_than_random(self, small_topology):
+        """Picks favour addresses that exist (ping responders), even when
+        those are invisible to UDP preprobing."""
+        topo = small_topology
+        exists = 0
+        for offset, record in enumerate(topo.prefixes):
+            octet = record.hitlist_host
+            if (octet in record.active_hosts or octet in record.ping_hosts
+                    or octet in record.special_hosts):
+                exists += 1
+        # A uniform random pick would land on an existing address far less
+        # often (host density ~13% of active prefixes).
+        assert exists > 0.3 * topo.num_prefixes

@@ -1,0 +1,106 @@
+"""Cross-tool integration: the paper's headline claims hold on a small
+simulated Internet."""
+
+import pytest
+
+from repro.baselines.scamper import Scamper, ScamperConfig
+from repro.baselines.yarrp import Yarrp, YarrpConfig
+from repro.core.config import FlashRouteConfig
+from repro.core.prober import FlashRoute
+from repro.core.targets import random_targets
+from repro.simnet.config import TopologyConfig
+from repro.simnet.network import SimulatedNetwork
+from repro.simnet.topology import Topology
+
+
+@pytest.fixture(scope="module")
+def world():
+    topology = Topology(TopologyConfig(num_prefixes=768, seed=42))
+    targets = random_targets(topology, seed=1)
+    return topology, targets
+
+
+@pytest.fixture(scope="module")
+def fr16(world):
+    topology, targets = world
+    return FlashRoute(FlashRouteConfig.flashroute_16()).scan(
+        SimulatedNetwork(topology), targets=targets)
+
+
+@pytest.fixture(scope="module")
+def yarrp32(world):
+    topology, targets = world
+    return Yarrp(YarrpConfig.yarrp_32()).scan(
+        SimulatedNetwork(topology), targets=targets)
+
+
+@pytest.fixture(scope="module")
+def udp_sim(world):
+    topology, targets = world
+    return FlashRoute(FlashRouteConfig.yarrp32_udp_simulation()).scan(
+        SimulatedNetwork(topology), targets=targets)
+
+
+class TestHeadlineClaims:
+    def test_flashroute_uses_under_half_the_probes(self, fr16, yarrp32):
+        """Abstract: 'uses less than 30% of probes ... of the previous
+        state of the art' — we require < 50% on the small topology."""
+        assert fr16.probes_sent < 0.5 * yarrp32.probes_sent
+
+    def test_flashroute_is_at_least_twice_as_fast(self, fr16, yarrp32):
+        assert fr16.duration < 0.5 * yarrp32.duration
+
+    def test_interface_discovery_comparable(self, fr16, yarrp32):
+        """Table 3: FlashRoute-16 finds marginally more interfaces than
+        Yarrp-32 (TCP)."""
+        assert fr16.interface_count() > 0.93 * yarrp32.interface_count()
+
+    def test_convergence_cost_is_small(self, fr16, udp_sim):
+        """§4.2.1: redundancy elimination misses only a few percent of the
+        interfaces the exhaustive UDP scan discovers."""
+        ratio = fr16.interface_count() / udp_sim.interface_count()
+        assert 0.90 <= ratio <= 1.0
+
+    def test_yarrp16_loses_interfaces(self, world, yarrp32):
+        topology, targets = world
+        yarrp16 = Yarrp(YarrpConfig.yarrp_16()).scan(
+            SimulatedNetwork(topology), targets=targets)
+        assert yarrp16.interface_count() < 0.9 * yarrp32.interface_count()
+        assert yarrp16.probes_sent < yarrp32.probes_sent
+
+    def test_scamper_more_probes_slightly_more_interfaces(self, world, fr16):
+        topology, targets = world
+        scamper = Scamper(ScamperConfig.scamper_16()).scan(
+            SimulatedNetwork(topology), targets=targets)
+        assert scamper.probes_sent > fr16.probes_sent
+        assert scamper.interface_count() >= 0.98 * fr16.interface_count()
+
+
+class TestMeasurementQuality:
+    def test_measured_destination_distances_match_truth(self, world, fr16):
+        topology, targets = world
+        correct = wrong = 0
+        for prefix, measured in fr16.dest_distance.items():
+            truth = {topology.destination_distance(targets[prefix],
+                                                   epoch=epoch)
+                     for epoch in (0, 1)}
+            truth.discard(None)
+            if not truth:
+                continue
+            if measured in truth or any(abs(measured - t) <= 1
+                                        for t in truth):
+                correct += 1
+            else:
+                wrong += 1
+        # Only middlebox-normalized destinations should disagree by > 1.
+        assert wrong <= 0.1 * max(correct, 1)
+
+    def test_rtt_measurements_plausible(self, fr16):
+        mean_rtt = fr16.mean_rtt_ms()
+        assert mean_rtt is not None
+        # hop_latency 2 ms * up to 32 hops * 2 directions + jitter.
+        assert 1.0 <= mean_rtt <= 200.0
+
+    def test_mismatch_rate_tiny(self, fr16):
+        total = fr16.responses + fr16.mismatched_quotes
+        assert fr16.mismatched_quotes <= 0.01 * total

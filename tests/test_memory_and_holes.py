@@ -1,0 +1,91 @@
+"""Memory projections (§5.4) and route-hole accounting (§4.2.2)."""
+
+import pytest
+
+from repro.analysis.intrusiveness import count_route_holes
+from repro.core.dcb import PAPER_BYTES_PER_DCB, projected_scan_memory
+from repro.core.results import ScanResult
+
+GIB = 2**30
+MIB = 2**20
+
+
+class TestMemoryProjection:
+    def test_slash24_matches_paper(self):
+        """Paper §3.4: ~900 MB for the full /24 array."""
+        assert projected_scan_memory(24) == pytest.approx(900 * MIB, rel=0.1)
+
+    def test_slash28_under_15gb(self):
+        """Paper §5.4: one target per /28 'would only require < 15GB'."""
+        assert projected_scan_memory(28) < 15 * GIB
+
+    def test_slash32_around_230gb(self):
+        """Paper §5.4: 'up to 230GB for a complete /32 scan'."""
+        assert projected_scan_memory(32) == pytest.approx(230 * GIB, rel=0.1)
+
+    def test_exponential_growth(self):
+        assert projected_scan_memory(28) == 16 * projected_scan_memory(24)
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            projected_scan_memory(33)
+        with pytest.raises(ValueError):
+            projected_scan_memory(24, bytes_per_dcb=0)
+
+    def test_custom_bytes(self):
+        assert projected_scan_memory(10, bytes_per_dcb=1) == 1024
+
+    def test_paper_constant_is_sane(self):
+        # Listing 1 fields (7 bytes) + two 32-bit links + mutex/overhead.
+        assert 15 < PAPER_BYTES_PER_DCB < 128
+
+
+class TestRouteHoles:
+    def _result(self):
+        result = ScanResult(tool="t")
+        result.targets = {100: (100 << 8) | 7}
+        result.add_hop(100, 2, 0xA2)
+        result.add_hop(100, 4, 0xA4)
+        result.record_destination(100, 5)
+        return result
+
+    def test_counts_probed_gaps(self):
+        log = [(0.0, (100 << 8) | 7, ttl) for ttl in (1, 2, 3, 4, 5)]
+        # TTLs 1 and 3 were probed, are below the route end, and have no
+        # recorded hop: two holes.
+        assert count_route_holes(self._result(), log) == 2
+
+    def test_unprobed_gaps_are_not_holes(self):
+        log = [(0.0, (100 << 8) | 7, ttl) for ttl in (2, 4, 5)]
+        assert count_route_holes(self._result(), log) == 0
+
+    def test_beyond_route_end_is_not_a_hole(self):
+        log = [(0.0, (100 << 8) | 7, ttl) for ttl in (6, 7, 8)]
+        assert count_route_holes(self._result(), log) == 0
+
+    def test_destination_position_is_not_a_hole(self):
+        log = [(0.0, (100 << 8) | 7, 5)]
+        assert count_route_holes(self._result(), log) == 0
+
+    def test_silent_routes_skipped(self):
+        result = ScanResult(tool="t")
+        log = [(0.0, (200 << 8) | 1, ttl) for ttl in range(1, 10)]
+        assert count_route_holes(result, log) == 0
+
+    def test_rate_limited_scan_has_more_holes(self, tiny_topology,
+                                              tiny_targets):
+        """Drive the same scan against a strict and a loose rate limit: the
+        strict one must leave more holes (the §4.2.2 mechanism)."""
+        from repro.core.config import FlashRouteConfig
+        from repro.core.prober import FlashRoute
+        from repro.simnet.network import SimulatedNetwork
+
+        def run(limit):
+            network = SimulatedNetwork(tiny_topology, log_probes=True,
+                                       rate_limit=limit)
+            result = FlashRoute(FlashRouteConfig(
+                preprobe="none", redundancy_removal=False,
+                probing_rate=50_000.0)).scan(network, targets=tiny_targets)
+            return count_route_holes(result, network.probe_log)
+
+        assert run(limit=5) > run(limit=10**9)

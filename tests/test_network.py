@@ -1,0 +1,210 @@
+"""SimulatedNetwork probe semantics: responses, silence, dynamics."""
+
+import pytest
+
+from repro.net.checksum import addr_checksum
+from repro.net.icmp import ResponseKind
+from repro.net.packets import PROTO_TCP
+from repro.simnet.config import TopologyConfig
+from repro.simnet.network import SimulatedNetwork
+from repro.simnet.topology import Topology
+
+from conftest import first_prefix_with
+
+
+def probe(network, dst, ttl, t=0.0, proto=None, src_port=None, flow=None):
+    kwargs = {}
+    if proto is not None:
+        kwargs["proto"] = proto
+    if flow is not None:
+        kwargs["flow"] = flow
+    return network.send_probe(
+        dst, ttl, t, src_port if src_port is not None else addr_checksum(dst),
+        **kwargs)
+
+
+class TestBasics:
+    def test_counts_probes(self, network, small_topology):
+        dst = (small_topology.base_prefix << 8) | 9
+        probe(network, dst, 1)
+        probe(network, dst, 2)
+        assert network.probes_sent == 2
+
+    def test_ttl1_always_answers(self, network, small_topology):
+        dst = (small_topology.base_prefix << 8) | 9
+        response = probe(network, dst, 1)
+        assert response is not None
+        assert response.kind is ResponseKind.TTL_EXCEEDED
+
+    def test_quotes_the_probe(self, network, small_topology):
+        dst = (small_topology.base_prefix << 8) | 9
+        response = network.send_probe(dst, 1, 0.0, 4242, ipid=0x1234,
+                                      udp_length=30)
+        assert response.quoted.dst == dst
+        assert response.quoted.ipid == 0x1234
+        assert response.quoted.src_port == 4242
+        assert response.quoted.udp_length == 30
+
+    def test_arrival_after_send(self, network, small_topology):
+        dst = (small_topology.base_prefix << 8) | 9
+        response = probe(network, dst, 1, t=5.0)
+        assert response.arrival_time > 5.0
+
+    def test_deeper_hops_arrive_later(self, network, small_topology):
+        topo = small_topology
+        prefix = first_prefix_with(
+            topo, lambda record, stub: stub.gateway_depth >= 7
+            and all(token >= 0 and topo.udp_resp[token]
+                    for token in stub.transit[:4]))
+        dst = (prefix << 8) | 9
+        shallow = probe(network, dst, 1)
+        deep = probe(network, dst, 4)
+        assert deep.arrival_time - 0.0 > shallow.arrival_time - 0.0
+
+    def test_active_host_port_unreachable(self, network, small_topology):
+        topo = small_topology
+        prefix = first_prefix_with(
+            topo, lambda record, stub: bool(record.active_hosts)
+            and not record.flap and not stub.ttl_reset and not stub.rewrite)
+        record = topo.prefixes[prefix - topo.base_prefix]
+        dst = (prefix << 8) | min(record.active_hosts)
+        response = probe(network, dst, 32)
+        assert response.kind is ResponseKind.PORT_UNREACHABLE
+        assert response.responder == dst
+
+    def test_unassigned_probe_past_last_hop_is_silent(self, network,
+                                                      small_topology):
+        topo = small_topology
+        prefix = first_prefix_with(
+            topo, lambda record, stub: not record.active_hosts
+            and not stub.loop_unassigned and not stub.host_unreachable
+            and not record.flap and not stub.ttl_reset
+            and 222 not in record.special_hosts)
+        record = topo.prefixes[prefix - topo.base_prefix]
+        stub = topo.stubs[record.stub_id]
+        dst = (prefix << 8) | 222
+        dest_depth = stub.gateway_depth + len(record.internal_ifaces) + 1
+        assert probe(network, dst, dest_depth) is None
+        assert probe(network, dst, dest_depth + 2) is None
+
+    def test_silent_router_never_answers(self, network, small_topology):
+        topo = small_topology
+        found = None
+        for stub in topo.stubs:
+            for depth, token in enumerate(stub.transit, start=1):
+                if token >= 0 and not topo.udp_resp[token]:
+                    found = (stub, depth)
+                    break
+            if found:
+                break
+        if not found:
+            pytest.skip("no silent transit router in this topology draw")
+        stub, depth = found
+        dst = ((topo.base_prefix + stub.first_offset) << 8) | 9
+        assert probe(network, dst, depth) is None
+
+
+class TestProtocols:
+    def test_tcp_silent_router_subset(self, small_topology):
+        # A router that ignores TCP but answers UDP must exist and behave so.
+        topo = small_topology
+        for stub in topo.stubs:
+            for depth, token in enumerate(stub.transit, start=1):
+                if token >= 0 and topo.udp_resp[token] and not topo.tcp_resp[token]:
+                    dst = ((topo.base_prefix + stub.first_offset) << 8) | 9
+                    network = SimulatedNetwork(topo)
+                    assert probe(network, dst, depth) is not None
+                    assert probe(network, dst, depth, proto=PROTO_TCP) is None
+                    return
+        pytest.skip("no TCP-silent router in this draw")
+
+    def test_tcp_rst_from_host(self, small_topology):
+        topo = small_topology
+        network = SimulatedNetwork(topo)
+        rst_seen = none_seen = 0
+        for offset, record in enumerate(topo.prefixes):
+            if not record.active_hosts:
+                continue
+            stub = topo.stubs[record.stub_id]
+            if stub.ttl_reset or record.flap:
+                continue
+            dst = ((topo.base_prefix + offset) << 8) | min(record.active_hosts)
+            response = probe(network, dst, 32, proto=PROTO_TCP)
+            if response is None:
+                none_seen += 1
+            else:
+                assert response.kind is ResponseKind.TCP_RST
+                rst_seen += 1
+        assert rst_seen > 0
+        assert none_seen > 0  # some hosts ignore TCP-ACK (host_tcp_rst < 1)
+
+
+class TestRateLimiting:
+    def test_limit_enforced_per_second(self, small_topology):
+        network = SimulatedNetwork(small_topology, rate_limit=10)
+        dst = (small_topology.base_prefix << 8) | 9
+        answered = sum(
+            1 for _ in range(50)
+            if probe(network, dst, 1, t=0.100) is not None)
+        assert answered == 10
+        assert network.rate_limiter.dropped == 40
+
+    def test_limit_resets_each_second(self, small_topology):
+        network = SimulatedNetwork(small_topology, rate_limit=5)
+        dst = (small_topology.base_prefix << 8) | 9
+        for _ in range(10):
+            probe(network, dst, 1, t=0.1)
+        assert probe(network, dst, 1, t=1.5) is not None
+
+    def test_overprobed_interface_recorded(self, small_topology):
+        network = SimulatedNetwork(small_topology, rate_limit=2)
+        dst = (small_topology.base_prefix << 8) | 9
+        for _ in range(5):
+            probe(network, dst, 1, t=0.0)
+        assert len(network.rate_limiter.overprobed_interfaces) == 1
+
+
+class TestRewrite:
+    def test_rewrite_stub_mismatches_quote(self):
+        config = TopologyConfig(num_prefixes=256, seed=21,
+                                rewrite_middlebox_probability=0.5,
+                                stub_active_probability=0.9)
+        topo = Topology(config)
+        network = SimulatedNetwork(topo)
+        prefix = first_prefix_with(
+            topo, lambda record, stub: stub.rewrite
+            and bool(record.active_hosts) and not stub.ttl_reset)
+        record = topo.prefixes[prefix - topo.base_prefix]
+        dst = (prefix << 8) | min(record.active_hosts)
+        response = probe(network, dst, 32)
+        assert response is not None
+        assert response.quoted.dst != dst
+        assert response.quoted.dst >> 8 == dst >> 8  # same /24
+        assert network.rewritten_responses >= 1
+
+
+class TestEpochDynamics:
+    def test_flap_changes_responses_across_epochs(self, small_topology):
+        topo = small_topology
+        prefix = first_prefix_with(
+            topo, lambda record, stub: record.flap
+            and bool(record.active_hosts) and not stub.ttl_reset)
+        record = topo.prefixes[prefix - topo.base_prefix]
+        dst = (prefix << 8) | min(record.active_hosts)
+        network = SimulatedNetwork(topo)
+        epoch_len = topo.config.flap_epoch_seconds
+        even = probe(network, dst, 32, t=0.0)
+        odd = probe(network, dst, 32, t=epoch_len * 1.5)
+        assert even.quoted_residual_ttl == odd.quoted_residual_ttl + 1
+
+
+class TestReset:
+    def test_reset_clears_counters(self, small_topology):
+        network = SimulatedNetwork(small_topology, rate_limit=1)
+        dst = (small_topology.base_prefix << 8) | 9
+        probe(network, dst, 1)
+        probe(network, dst, 1)
+        network.reset()
+        assert network.probes_sent == 0
+        assert network.rate_limiter.dropped == 0
+        assert probe(network, dst, 1) is not None

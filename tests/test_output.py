@@ -1,0 +1,115 @@
+"""Scan result serialization: JSON round-trip, CSV, traceroute text."""
+
+import io
+
+import pytest
+
+from repro.core.config import FlashRouteConfig
+from repro.core.output import (
+    format_route,
+    format_scan_report,
+    hops_csv_text,
+    load_json,
+    read_json,
+    result_from_dict,
+    result_to_dict,
+    save_json,
+    write_json,
+)
+from repro.core.prober import FlashRoute
+from repro.core.results import ScanResult
+from repro.simnet.network import SimulatedNetwork
+
+
+def _sample_result():
+    result = ScanResult(tool="sample", num_targets=2)
+    result.targets = {100: (100 << 8) | 7, 101: (101 << 8) | 9}
+    result.add_hop(100, 1, 0x01020304)
+    result.add_hop(100, 2, 0x01020305)
+    result.record_destination(100, 3)
+    result.probes_sent = 10
+    result.responses = 3
+    result.duration = 12.5
+    result.rounds = 4
+    result.ttl_probe_histogram.update({1: 2, 2: 2, 3: 1})
+    result.response_kinds.update({"ttl_exceeded": 2, "port_unreachable": 1})
+    result.add_rtt(42.0)
+    return result
+
+
+class TestJsonRoundTrip:
+    def test_dict_round_trip(self):
+        original = _sample_result()
+        rebuilt = result_from_dict(result_to_dict(original))
+        assert rebuilt.tool == original.tool
+        assert rebuilt.routes == original.routes
+        assert rebuilt.targets == original.targets
+        assert rebuilt.dest_distance == original.dest_distance
+        assert rebuilt.ttl_probe_histogram == original.ttl_probe_histogram
+        assert rebuilt.response_kinds == original.response_kinds
+        assert rebuilt.duration == original.duration
+        assert rebuilt.mean_rtt_ms() == original.mean_rtt_ms()
+
+    def test_stream_round_trip(self):
+        buffer = io.StringIO()
+        write_json(_sample_result(), buffer)
+        buffer.seek(0)
+        rebuilt = read_json(buffer)
+        assert rebuilt.interface_count() == 2
+
+    def test_file_round_trip(self, tmp_path):
+        path = tmp_path / "scan.json"
+        save_json(_sample_result(), str(path))
+        rebuilt = load_json(str(path))
+        assert rebuilt.probes_sent == 10
+
+    def test_rejects_unknown_version(self):
+        payload = result_to_dict(_sample_result())
+        payload["format_version"] = 99
+        with pytest.raises(ValueError):
+            result_from_dict(payload)
+
+    def test_full_scan_round_trip(self, tiny_topology, tiny_targets):
+        scan = FlashRoute(FlashRouteConfig(preprobe="none")).scan(
+            SimulatedNetwork(tiny_topology), targets=tiny_targets)
+        rebuilt = result_from_dict(result_to_dict(scan))
+        assert rebuilt.routes == scan.routes
+        assert rebuilt.interface_count() == scan.interface_count()
+        assert rebuilt.summary() == scan.summary()
+
+
+class TestCsv:
+    def test_header_and_rows(self):
+        text = hops_csv_text(_sample_result())
+        lines = text.strip().splitlines()
+        assert lines[0] == "prefix,target,ttl,interface,is_destination"
+        assert len(lines) == 1 + 3  # 2 hops + 1 destination row
+
+    def test_destination_row_flagged(self):
+        text = hops_csv_text(_sample_result())
+        destination_rows = [line for line in text.splitlines()
+                            if line.endswith(",1")]
+        assert len(destination_rows) == 1
+        assert "0.0.100.7" in destination_rows[0]
+
+    def test_prefix_formatting(self):
+        assert "0.0.100.0/24" in hops_csv_text(_sample_result())
+
+
+class TestText:
+    def test_format_route_marks_destination(self):
+        text = format_route(_sample_result(), 100)
+        assert "[destination]" in text
+        assert "1.2.3.4" in text
+
+    def test_format_route_stars_missing_hops(self):
+        result = _sample_result()
+        result.record_destination(100, 5)  # does not lower the min
+        text = format_route(_sample_result(), 100)
+        assert text.count("\n") >= 3
+
+    def test_report_limits_routes(self):
+        report = format_scan_report(_sample_result(), max_routes=0)
+        assert "traceroute to" not in report
+        report = format_scan_report(_sample_result(), max_routes=5)
+        assert "traceroute to" in report

@@ -1,0 +1,165 @@
+"""Byte-level header pack/unpack tests."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.net.checksum import verify_checksum
+from repro.net.packets import (
+    IPV4_HEADER_LEN,
+    PROTO_TCP,
+    PROTO_UDP,
+    IPv4Header,
+    PacketError,
+    ProbeHeader,
+    TCPHeader,
+    UDPHeader,
+)
+
+addr = st.integers(min_value=0, max_value=2**32 - 1)
+port = st.integers(min_value=0, max_value=0xFFFF)
+
+
+class TestIPv4Header:
+    def test_pack_length(self):
+        header = IPv4Header(src=1, dst=2, proto=PROTO_UDP, ttl=10)
+        assert len(header.pack()) == IPV4_HEADER_LEN
+
+    def test_checksum_verifies(self):
+        header = IPv4Header(src=0x01020304, dst=0x05060708,
+                            proto=PROTO_UDP, ttl=64, ident=0xBEEF)
+        assert verify_checksum(header.pack())
+
+    def test_round_trip(self):
+        header = IPv4Header(src=123, dst=456, proto=PROTO_TCP, ttl=7,
+                            ident=0x1234, total_length=40)
+        parsed = IPv4Header.unpack(header.pack())
+        assert parsed.src == 123
+        assert parsed.dst == 456
+        assert parsed.proto == PROTO_TCP
+        assert parsed.ttl == 7
+        assert parsed.ident == 0x1234
+        assert parsed.total_length == 40
+
+    def test_rejects_bad_ttl(self):
+        with pytest.raises(PacketError):
+            IPv4Header(src=1, dst=2, proto=17, ttl=256).pack()
+
+    def test_rejects_bad_ipid(self):
+        with pytest.raises(PacketError):
+            IPv4Header(src=1, dst=2, proto=17, ttl=1, ident=1 << 16).pack()
+
+    def test_unpack_rejects_short_buffer(self):
+        with pytest.raises(PacketError):
+            IPv4Header.unpack(b"\x45" + b"\x00" * 10)
+
+    def test_unpack_rejects_ipv6(self):
+        data = bytearray(IPv4Header(src=1, dst=2, proto=17, ttl=1).pack())
+        data[0] = (6 << 4) | 5
+        with pytest.raises(PacketError):
+            IPv4Header.unpack(bytes(data))
+
+    def test_unpack_rejects_options(self):
+        data = bytearray(IPv4Header(src=1, dst=2, proto=17, ttl=1).pack())
+        data[0] = (4 << 4) | 6  # IHL 6 words
+        with pytest.raises(PacketError):
+            IPv4Header.unpack(bytes(data))
+
+    @given(addr, addr, st.integers(min_value=1, max_value=255),
+           st.integers(min_value=0, max_value=0xFFFF))
+    def test_round_trip_property(self, src, dst, ttl, ident):
+        header = IPv4Header(src=src, dst=dst, proto=PROTO_UDP, ttl=ttl,
+                            ident=ident)
+        parsed = IPv4Header.unpack(header.pack())
+        assert (parsed.src, parsed.dst, parsed.ttl, parsed.ident) == \
+            (src, dst, ttl, ident)
+
+
+class TestUDPHeader:
+    def test_round_trip(self):
+        header = UDPHeader(src_port=33000, dst_port=33434, length=20)
+        parsed = UDPHeader.unpack(header.pack())
+        assert parsed == header
+
+    def test_rejects_out_of_range_port(self):
+        with pytest.raises(PacketError):
+            UDPHeader(src_port=70000, dst_port=1).pack()
+
+    def test_unpack_rejects_short(self):
+        with pytest.raises(PacketError):
+            UDPHeader.unpack(b"\x00" * 4)
+
+    @given(port, port, st.integers(min_value=8, max_value=0xFFFF))
+    def test_round_trip_property(self, src, dst, length):
+        parsed = UDPHeader.unpack(UDPHeader(src, dst, length).pack())
+        assert (parsed.src_port, parsed.dst_port, parsed.length) == \
+            (src, dst, length)
+
+
+class TestTCPHeader:
+    def test_round_trip(self):
+        header = TCPHeader(src_port=1234, dst_port=80, seq=0xCAFEBABE)
+        parsed = TCPHeader.unpack(header.pack())
+        assert parsed.src_port == 1234
+        assert parsed.dst_port == 80
+        assert parsed.seq == 0xCAFEBABE
+
+    def test_default_flags_are_ack(self):
+        assert TCPHeader(src_port=1, dst_port=2).flags == 0x10
+
+    def test_rejects_large_seq(self):
+        with pytest.raises(PacketError):
+            TCPHeader(src_port=1, dst_port=2, seq=2**32).pack()
+
+    def test_unpack_rejects_short(self):
+        with pytest.raises(PacketError):
+            TCPHeader.unpack(b"\x00" * 10)
+
+
+class TestProbeHeader:
+    def test_udp_round_trip(self):
+        probe = ProbeHeader(src=0x0A000001, dst=0x14000001, ttl=16,
+                            ipid=0x7ABC, proto=PROTO_UDP, src_port=40000,
+                            dst_port=33434, udp_length=20)
+        parsed = ProbeHeader.unpack(probe.pack())
+        assert parsed.dst == probe.dst
+        assert parsed.ttl == probe.ttl
+        assert parsed.ipid == probe.ipid
+        assert parsed.src_port == probe.src_port
+        assert parsed.udp_length == probe.udp_length
+
+    def test_tcp_round_trip(self):
+        probe = ProbeHeader(src=1, dst=2, ttl=8, ipid=99, proto=PROTO_TCP,
+                            src_port=5555, dst_port=80, tcp_seq=123456)
+        parsed = ProbeHeader.unpack(probe.pack())
+        assert parsed.tcp_seq == 123456
+        assert parsed.proto == PROTO_TCP
+
+    def test_udp_padding_matches_length(self):
+        probe = ProbeHeader(src=1, dst=2, ttl=3, ipid=4, udp_length=40)
+        packed = probe.pack()
+        assert len(packed) == IPV4_HEADER_LEN + 40
+
+    def test_quotation_is_header_plus_8(self):
+        probe = ProbeHeader(src=1, dst=2, ttl=3, ipid=4, udp_length=63)
+        assert len(probe.quotation()) == IPV4_HEADER_LEN + 8
+
+    def test_quotation_parses_back(self):
+        probe = ProbeHeader(src=9, dst=10, ttl=11, ipid=12, src_port=2000,
+                            udp_length=30)
+        parsed = ProbeHeader.unpack(probe.quotation())
+        assert parsed.dst == 10
+        assert parsed.src_port == 2000
+
+    def test_rejects_unknown_protocol(self):
+        with pytest.raises(PacketError):
+            ProbeHeader(src=1, dst=2, ttl=3, ipid=4, proto=47).pack()
+
+    @given(addr, st.integers(min_value=1, max_value=32),
+           st.integers(min_value=0, max_value=0xFFFF), port,
+           st.integers(min_value=8, max_value=8 + 63))
+    def test_udp_property_round_trip(self, dst, ttl, ipid, src_port, length):
+        probe = ProbeHeader(src=0, dst=dst, ttl=ttl, ipid=ipid,
+                            src_port=src_port, udp_length=length)
+        parsed = ProbeHeader.unpack(probe.pack())
+        assert (parsed.dst, parsed.ttl, parsed.ipid, parsed.src_port,
+                parsed.udp_length) == (dst, ttl, ipid, src_port, length)

@@ -1,0 +1,145 @@
+"""Pcap writer/reader and the capturing network proxy."""
+
+import io
+import struct
+
+import pytest
+
+from repro.core.config import FlashRouteConfig
+from repro.core.prober import FlashRoute
+from repro.net.packets import IPv4Header, ProbeHeader, PROTO_TCP, PROTO_UDP
+from repro.net.pcap import PcapError, PcapRecord, PcapWriter, read_pcap
+from repro.simnet.capture import CapturingNetwork, response_wire_bytes
+from repro.simnet.network import SimulatedNetwork
+
+
+class TestPcapFormat:
+    def test_round_trip(self):
+        buffer = io.BytesIO()
+        writer = PcapWriter(buffer)
+        writer.write(1.5, b"\x45" + b"\x00" * 19)
+        writer.write(2.25, b"\x45" + b"\xFF" * 27)
+        buffer.seek(0)
+        records = list(read_pcap(buffer))
+        assert len(records) == 2
+        assert records[0].timestamp == pytest.approx(1.5)
+        assert records[1].timestamp == pytest.approx(2.25)
+        assert len(records[1].data) == 28
+
+    def test_count(self):
+        buffer = io.BytesIO()
+        writer = PcapWriter(buffer)
+        for i in range(5):
+            writer.write(float(i), b"\x45" * 20)
+        assert writer.count == 5
+
+    def test_global_header_fields(self):
+        buffer = io.BytesIO()
+        PcapWriter(buffer)
+        header = buffer.getvalue()
+        magic, major, minor = struct.unpack("<IHH", header[:8])
+        assert magic == 0xA1B2C3D4
+        assert (major, minor) == (2, 4)
+        linktype = struct.unpack("<I", header[20:24])[0]
+        assert linktype == 101  # LINKTYPE_RAW
+
+    def test_rejects_negative_timestamp(self):
+        writer = PcapWriter(io.BytesIO())
+        with pytest.raises(PcapError):
+            writer.write(-1.0, b"\x45" * 20)
+
+    def test_rejects_bad_magic(self):
+        with pytest.raises(PcapError):
+            list(read_pcap(io.BytesIO(b"\x00" * 24)))
+
+    def test_rejects_truncated_header(self):
+        with pytest.raises(PcapError):
+            list(read_pcap(io.BytesIO(b"\x00" * 4)))
+
+    def test_rejects_truncated_record(self):
+        buffer = io.BytesIO()
+        writer = PcapWriter(buffer)
+        writer.write(0.0, b"\x45" * 20)
+        data = buffer.getvalue()[:-5]
+        with pytest.raises(PcapError):
+            list(read_pcap(io.BytesIO(data)))
+
+    def test_microsecond_rounding_carry(self):
+        buffer = io.BytesIO()
+        writer = PcapWriter(buffer)
+        writer.write(0.9999999, b"\x45" * 20)
+        buffer.seek(0)
+        (record,) = read_pcap(buffer)
+        assert record.timestamp == pytest.approx(1.0)
+
+
+class TestResponseWire:
+    def test_rst_bytes_are_tcp(self):
+        from repro.net.icmp import IcmpResponse, ResponseKind
+
+        quoted = ProbeHeader(src=1, dst=2, ttl=3, ipid=4, proto=PROTO_TCP,
+                             src_port=4000, dst_port=80, tcp_seq=777)
+        response = IcmpResponse(kind=ResponseKind.TCP_RST, responder=2,
+                                quoted=quoted, arrival_time=0.0,
+                                quoted_residual_ttl=3)
+        wire = response_wire_bytes(response, vantage=1)
+        outer = IPv4Header.unpack(wire)
+        assert outer.proto == PROTO_TCP
+        assert outer.src == 2
+
+    def test_icmp_bytes_parse(self):
+        from repro.net.icmp import (IcmpResponse, ResponseKind,
+                                    unpack_icmp_error)
+
+        quoted = ProbeHeader(src=1, dst=2, ttl=3, ipid=4, src_port=4000)
+        response = IcmpResponse(kind=ResponseKind.TTL_EXCEEDED, responder=9,
+                                quoted=quoted, arrival_time=0.0,
+                                quoted_residual_ttl=3)
+        wire = response_wire_bytes(response, vantage=1)
+        parsed = unpack_icmp_error(wire)
+        assert parsed.responder == 9
+        assert parsed.quoted.dst == 2
+
+
+class TestCapturingNetwork:
+    def test_scan_through_capture(self, tiny_topology, tiny_targets,
+                                  tmp_path):
+        path = tmp_path / "scan.pcap"
+        with open(path, "wb") as handle:
+            network = CapturingNetwork(SimulatedNetwork(tiny_topology),
+                                       handle)
+            result = FlashRoute(FlashRouteConfig(preprobe="none")).scan(
+                network, targets=tiny_targets)
+            captured = network.packets_captured
+        assert captured == result.probes_sent + result.responses \
+            + result.mismatched_quotes
+
+        from repro.net.pcap import load_pcap
+        records = load_pcap(str(path))
+        assert len(records) == captured
+        # Every record is a parseable IPv4 packet.
+        for record in records[:50]:
+            IPv4Header.unpack(record.data)
+
+    def test_capture_preserves_probe_fields(self, tiny_topology,
+                                            tiny_targets, tmp_path):
+        path = tmp_path / "one.pcap"
+        dst = next(iter(tiny_targets.values()))
+        with open(path, "wb") as handle:
+            network = CapturingNetwork(SimulatedNetwork(tiny_topology),
+                                       handle)
+            network.send_probe(dst, 1, 0.5, 4242, ipid=0xBEEF,
+                               udp_length=30)
+        from repro.net.pcap import load_pcap
+        records = load_pcap(str(path))
+        probe = ProbeHeader.unpack(records[0].data)
+        assert probe.dst == dst
+        assert probe.ipid == 0xBEEF
+        assert probe.udp_length == 30
+        assert records[0].timestamp == pytest.approx(0.5)
+
+    def test_proxy_forwards_attributes(self, tiny_topology):
+        network = CapturingNetwork(SimulatedNetwork(tiny_topology),
+                                   io.BytesIO())
+        assert network.topology is tiny_topology
+        assert network.probes_sent == 0

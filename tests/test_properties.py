@@ -1,0 +1,135 @@
+"""Property-based tests of cross-cutting invariants.
+
+These use small, per-example topologies and scans, so hypothesis can vary
+seeds and parameters freely.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.core.config import FlashRouteConfig, PreprobeMode
+from repro.core.encoding import decode_response, encode_probe
+from repro.core.prober import FlashRoute
+from repro.core.targets import random_targets
+from repro.net.checksum import addr_checksum
+from repro.net.icmp import ResponseKind
+from repro.simnet.config import TopologyConfig
+from repro.simnet.network import SimulatedNetwork
+from repro.simnet.topology import Topology
+
+_slow = settings(max_examples=10, deadline=None,
+                 suppress_health_check=[HealthCheck.too_slow])
+
+
+@st.composite
+def topologies(draw):
+    seed = draw(st.integers(min_value=0, max_value=10_000))
+    size = draw(st.sampled_from([32, 64, 96]))
+    return Topology(TopologyConfig(num_prefixes=size, seed=seed))
+
+
+class TestTopologyProperties:
+    @_slow
+    @given(topologies())
+    def test_stub_tiling(self, topology):
+        covered = sum(stub.block_size for stub in topology.stubs)
+        assert covered == topology.num_prefixes
+
+    @_slow
+    @given(topologies(), st.integers(min_value=0, max_value=2**16))
+    def test_hop_at_is_deterministic(self, topology, flow):
+        dst = (topology.base_prefix << 8) | 7
+        for ttl in (1, 5, 12, 32):
+            a = topology.hop_at(dst, ttl, flow=flow)
+            b = topology.hop_at(dst, ttl, flow=flow)
+            assert (a.kind, a.iface, a.residual_ttl) == \
+                (b.kind, b.iface, b.residual_ttl)
+
+    @_slow
+    @given(topologies())
+    def test_route_monotonicity(self, topology):
+        """A probe that reaches the destination at TTL t also reaches it at
+        every TTL above t (absent loops)."""
+        from repro.simnet.entities import HopKind
+
+        for offset in range(0, topology.num_prefixes, 11):
+            record = topology.prefixes[offset]
+            if not record.active_hosts:
+                continue
+            dst = ((topology.base_prefix + offset) << 8) | \
+                min(record.active_hosts)
+            reached = [topology.hop_at(dst, ttl).kind is HopKind.DESTINATION
+                       for ttl in range(1, 33)]
+            if True in reached:
+                first = reached.index(True)
+                assert all(reached[first:])
+
+
+class TestNetworkProperties:
+    @_slow
+    @given(topologies(), st.integers(min_value=1, max_value=32))
+    def test_response_quotes_probe_identity(self, topology, ttl):
+        network = SimulatedNetwork(topology)
+        dst = (topology.base_prefix << 8) | 9
+        marking = encode_probe(dst, ttl, 0.0)
+        response = network.send_probe(dst, ttl, 0.0, marking.src_port,
+                                      ipid=marking.ipid,
+                                      udp_length=marking.udp_length)
+        if response is None:
+            return
+        decoded = decode_response(response)
+        assert decoded.initial_ttl == ttl
+        assert decoded.src_port == marking.src_port
+
+    @_slow
+    @given(topologies())
+    def test_ttl_exceeded_responder_is_interface(self, topology):
+        network = SimulatedNetwork(topology)
+        known = set(topology.iface_addrs)
+        for offset in range(0, topology.num_prefixes, 7):
+            dst = ((topology.base_prefix + offset) << 8) | 50
+            for ttl in (1, 3, 8):
+                response = network.send_probe(dst, ttl, 0.0,
+                                              addr_checksum(dst))
+                if response is not None and \
+                        response.kind is ResponseKind.TTL_EXCEEDED:
+                    assert response.responder in known
+
+
+class TestScanProperties:
+    @_slow
+    @given(topologies(),
+           st.integers(min_value=1, max_value=32),
+           st.integers(min_value=0, max_value=6),
+           st.sampled_from(list(PreprobeMode)))
+    def test_scan_invariants(self, topology, split, gap, preprobe):
+        config = FlashRouteConfig(split_ttl=split, gap_limit=gap,
+                                  preprobe=preprobe)
+        targets = random_targets(topology, seed=1)
+        result = FlashRoute(config).scan(SimulatedNetwork(topology),
+                                         targets=targets)
+        assert not result.aborted
+        assert result.probes_sent >= len(targets) or gap == 0
+        # Responses can never exceed probes.
+        assert result.responses + result.mismatched_quotes <= \
+            result.probes_sent
+        # All discovered interfaces are real.
+        assert result.interfaces() <= set(topology.iface_addrs)
+        # No probe beyond max TTL.
+        if result.ttl_probe_histogram:
+            assert max(result.ttl_probe_histogram) <= config.max_ttl
+
+    @_slow
+    @given(topologies())
+    def test_redundancy_removal_never_increases_probes(self, topology):
+        targets = random_targets(topology, seed=1)
+        on = FlashRoute(FlashRouteConfig(
+            preprobe=PreprobeMode.NONE, redundancy_removal=True)).scan(
+            SimulatedNetwork(topology), targets=targets)
+        off = FlashRoute(FlashRouteConfig(
+            preprobe=PreprobeMode.NONE, redundancy_removal=False)).scan(
+            SimulatedNetwork(topology), targets=targets)
+        assert on.probes_sent <= off.probes_sent
+        # And what it finds is a subset of the exhaustive-ish variant plus
+        # whatever alternate hops either saw.
+        assert on.interface_count() <= off.interface_count() + 5

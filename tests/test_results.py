@@ -1,0 +1,102 @@
+"""ScanResult bookkeeping and derived views."""
+
+import pytest
+
+from repro.core.results import (
+    ScanResult,
+    format_scan_time,
+    union_interfaces,
+)
+
+
+class TestFormatScanTime:
+    def test_minutes(self):
+        assert format_scan_time(17 * 60 + 16.94) == "17:16.94"
+
+    def test_hours(self):
+        assert format_scan_time(3600 + 15.21) == "1:00:15.21"
+
+    def test_paper_scamper_value(self):
+        assert format_scan_time(3 * 3600 + 43 * 60 + 27.56) == "3:43:27.56"
+
+    def test_zero(self):
+        assert format_scan_time(0) == "0:00.00"
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            format_scan_time(-1)
+
+
+class TestScanResult:
+    def test_add_hop_and_interfaces(self):
+        result = ScanResult(tool="t")
+        result.add_hop(100, 3, 0x0A)
+        result.add_hop(100, 4, 0x0B)
+        result.add_hop(101, 3, 0x0A)
+        assert result.interfaces() == {0x0A, 0x0B}
+        assert result.interface_count() == 2
+
+    def test_route_sorted(self):
+        result = ScanResult(tool="t")
+        result.add_hop(100, 5, 0x0C)
+        result.add_hop(100, 2, 0x0A)
+        assert result.route(100) == [(2, 0x0A), (5, 0x0C)]
+
+    def test_record_destination_keeps_minimum(self):
+        result = ScanResult(tool="t")
+        result.record_destination(100, 14)
+        result.record_destination(100, 12)
+        result.record_destination(100, 20)
+        assert result.dest_distance[100] == 12
+
+    def test_route_length_prefers_destination_distance(self):
+        result = ScanResult(tool="t")
+        result.add_hop(100, 9, 0x0A)
+        result.record_destination(100, 11)
+        assert result.route_length(100) == 11
+
+    def test_route_length_falls_back_to_deepest_hop(self):
+        result = ScanResult(tool="t")
+        result.add_hop(100, 9, 0x0A)
+        result.add_hop(100, 4, 0x0B)
+        assert result.route_length(100) == 9
+
+    def test_route_length_none_when_silent(self):
+        assert ScanResult(tool="t").route_length(5) is None
+
+    def test_rtt_accounting(self):
+        result = ScanResult(tool="t")
+        assert result.mean_rtt_ms() is None
+        result.add_rtt(10.0)
+        result.add_rtt(30.0)
+        assert result.mean_rtt_ms() == pytest.approx(20.0)
+
+    def test_probes_per_target(self):
+        result = ScanResult(tool="t", num_targets=4)
+        result.probes_sent = 40
+        assert result.probes_per_target() == pytest.approx(10.0)
+
+    def test_probes_per_target_no_targets(self):
+        assert ScanResult(tool="t").probes_per_target() == 0.0
+
+    def test_summary_mentions_tool(self):
+        result = ScanResult(tool="FlashRoute-16")
+        assert "FlashRoute-16" in result.summary()
+
+    def test_as_row_keys(self):
+        row = ScanResult(tool="t").as_row()
+        assert set(row) == {"tool", "interfaces", "probes", "scan_time",
+                            "scan_time_text"}
+
+
+class TestUnionInterfaces:
+    def test_union(self):
+        a = ScanResult(tool="a")
+        a.add_hop(1, 1, 10)
+        b = ScanResult(tool="b")
+        b.add_hop(1, 1, 11)
+        b.add_hop(2, 2, 10)
+        assert union_interfaces([a, b]) == frozenset({10, 11})
+
+    def test_empty(self):
+        assert union_interfaces([]) == frozenset()

@@ -1,0 +1,115 @@
+"""Simnet configuration helpers, scenarios, and entity edge cases."""
+
+import random
+
+import pytest
+
+from repro.simnet.config import (
+    SCENARIOS,
+    TopologyConfig,
+    scaled_probing_rate,
+    weighted_choice,
+)
+from repro.simnet.entities import (
+    MAX_DIAMOND_DEPTH,
+    VOID_HOP,
+    HopKind,
+    lb_group_id,
+    lb_offset,
+    lb_token,
+)
+
+
+class TestScaledProbingRate:
+    def test_paper_scale_is_full_rate(self):
+        assert scaled_probing_rate(2**24) == pytest.approx(100_000.0)
+
+    def test_proportional(self):
+        assert scaled_probing_rate(2**23) == pytest.approx(50_000.0)
+
+    def test_floor(self):
+        assert scaled_probing_rate(1) == 1.0
+
+    def test_custom_paper_rate(self):
+        assert scaled_probing_rate(2**24, paper_rate=10_000.0) == \
+            pytest.approx(10_000.0)
+
+
+class TestWeightedChoice:
+    def test_single_entry(self):
+        rng = random.Random(0)
+        assert weighted_choice(rng, ((7, 100),)) == 7
+
+    def test_respects_weights(self):
+        rng = random.Random(1)
+        draws = [weighted_choice(rng, ((1, 90), (2, 10)))
+                 for _ in range(2000)]
+        ones = draws.count(1)
+        assert 1600 < ones < 2000
+
+    def test_all_values_reachable(self):
+        rng = random.Random(2)
+        table = ((1, 1), (2, 1), (3, 1))
+        seen = {weighted_choice(rng, table) for _ in range(500)}
+        assert seen == {1, 2, 3}
+
+
+class TestScenarios:
+    def test_presets_exist(self):
+        assert {"tiny", "small", "default", "bench"} <= set(SCENARIOS)
+
+    def test_presets_are_valid_configs(self):
+        for name, config in SCENARIOS.items():
+            assert isinstance(config, TopologyConfig)
+            assert config.num_prefixes > 0
+
+    def test_sizes_ordered(self):
+        assert SCENARIOS["tiny"].num_prefixes < \
+            SCENARIOS["small"].num_prefixes < \
+            SCENARIOS["bench"].num_prefixes
+
+
+class TestConfigValidation:
+    def test_infrastructure_overlap_rejected(self):
+        with pytest.raises(ValueError):
+            TopologyConfig(num_prefixes=256,
+                           base_prefix_addr=0x14000000,
+                           infrastructure_base_addr=0x14000100)
+
+    def test_rate_limit_must_be_positive(self):
+        with pytest.raises(ValueError):
+            TopologyConfig(icmp_rate_limit=0)
+
+    def test_defaults_are_valid(self):
+        TopologyConfig()  # must not raise
+
+
+class TestHopTokens:
+    def test_plain_token_round_trip(self):
+        for group in (0, 1, 7, 1000):
+            for offset in range(MAX_DIAMOND_DEPTH):
+                token = lb_token(group, offset)
+                assert token < 0
+                assert lb_group_id(token) == group
+                assert lb_offset(token) == offset
+
+    def test_distinct_tokens(self):
+        tokens = {lb_token(g, o) for g in range(10)
+                  for o in range(MAX_DIAMOND_DEPTH)}
+        assert len(tokens) == 10 * MAX_DIAMOND_DEPTH
+
+    def test_offset_bounds(self):
+        with pytest.raises(ValueError):
+            lb_token(0, MAX_DIAMOND_DEPTH)
+        with pytest.raises(ValueError):
+            lb_token(0, -1)
+
+    def test_decoders_reject_plain_tokens(self):
+        with pytest.raises(ValueError):
+            lb_group_id(5)
+        with pytest.raises(ValueError):
+            lb_offset(0)
+
+    def test_void_hop_singleton(self):
+        assert VOID_HOP.kind is HopKind.VOID
+        assert VOID_HOP.iface == -1

@@ -1,0 +1,76 @@
+"""Target selection: random representatives, hitlist, file loading."""
+
+import pytest
+
+from repro.core.targets import hitlist_targets, random_targets, targets_from_file
+from repro.net.addr import int_to_ip
+
+
+class TestRandomTargets:
+    def test_one_per_prefix(self, small_topology):
+        targets = random_targets(small_topology, seed=1)
+        assert len(targets) == small_topology.num_prefixes
+        for prefix, addr in targets.items():
+            assert addr >> 8 == prefix
+
+    def test_host_octet_in_valid_range(self, small_topology):
+        for addr in random_targets(small_topology, seed=1).values():
+            assert 1 <= addr & 0xFF <= 254
+
+    def test_deterministic(self, small_topology):
+        assert random_targets(small_topology, 5) == \
+            random_targets(small_topology, 5)
+
+    def test_seed_changes_draw(self, small_topology):
+        assert random_targets(small_topology, 1) != \
+            random_targets(small_topology, 2)
+
+    def test_exclusion(self, small_topology):
+        excluded = {small_topology.base_prefix}
+        targets = random_targets(small_topology, 1, excluded=excluded)
+        assert small_topology.base_prefix not in targets
+        assert len(targets) == small_topology.num_prefixes - 1
+
+
+class TestHitlistTargets:
+    def test_one_per_prefix(self, small_topology):
+        targets = hitlist_targets(small_topology)
+        assert len(targets) == small_topology.num_prefixes
+
+    def test_matches_synthesized_hitlist(self, small_topology):
+        targets = hitlist_targets(small_topology)
+        for offset, record in enumerate(small_topology.prefixes):
+            prefix = small_topology.base_prefix + offset
+            assert targets[prefix] & 0xFF == record.hitlist_host
+
+    def test_hitlist_is_more_responsive_than_random(self, small_topology):
+        hitlist = hitlist_targets(small_topology)
+        rand = random_targets(small_topology, seed=1)
+        hit_alive = sum(
+            1 for addr in hitlist.values()
+            if small_topology.destination_distance(addr) is not None)
+        rand_alive = sum(
+            1 for addr in rand.values()
+            if small_topology.destination_distance(addr) is not None)
+        assert hit_alive > rand_alive  # the bias the paper studies
+
+
+class TestTargetsFromFile:
+    def test_load(self, tmp_path):
+        path = tmp_path / "targets.txt"
+        path.write_text("20.0.0.5\n# comment\n\n20.0.1.9\n")
+        targets = targets_from_file(str(path))
+        assert len(targets) == 2
+        assert int_to_ip(targets[20 << 16 | 0]) == "20.0.0.5"
+
+    def test_one_address_per_prefix_last_wins(self, tmp_path):
+        path = tmp_path / "targets.txt"
+        path.write_text("20.0.0.5\n20.0.0.77\n")
+        targets = targets_from_file(str(path))
+        assert list(targets.values()) == [(20 << 24) | 77]
+
+    def test_rejects_bad_address(self, tmp_path):
+        path = tmp_path / "targets.txt"
+        path.write_text("999.1.2.3\n")
+        with pytest.raises(Exception):
+            targets_from_file(str(path))

@@ -1,0 +1,100 @@
+"""Classic sequential traceroute: the Fig. 3 reference tool."""
+
+import pytest
+
+from repro.baselines.traceroute import ClassicTraceroute
+from repro.simnet.network import SimulatedNetwork
+
+from conftest import first_prefix_with
+
+
+@pytest.fixture()
+def tracer(tiny_topology):
+    return ClassicTraceroute(SimulatedNetwork(tiny_topology))
+
+
+def _responsive_prefix(topo):
+    return first_prefix_with(
+        topo, lambda record, stub: bool(record.active_hosts)
+        and not record.flap and not stub.ttl_reset)
+
+
+class TestTrace:
+    def test_triggering_ttl_equals_true_distance(self, tiny_topology, tracer):
+        prefix = _responsive_prefix(tiny_topology)
+        record = tiny_topology.prefixes[prefix - tiny_topology.base_prefix]
+        dst = (prefix << 8) | min(record.active_hosts)
+        result = tracer.trace(dst)
+        assert result.triggering_ttl == \
+            tiny_topology.destination_distance(dst)
+
+    def test_residual_distance_agrees(self, tiny_topology, tracer):
+        prefix = _responsive_prefix(tiny_topology)
+        record = tiny_topology.prefixes[prefix - tiny_topology.base_prefix]
+        dst = (prefix << 8) | min(record.active_hosts)
+        result = tracer.trace(dst)
+        assert result.residual_distance == result.triggering_ttl
+
+    def test_stops_at_destination(self, tiny_topology, tracer):
+        prefix = _responsive_prefix(tiny_topology)
+        record = tiny_topology.prefixes[prefix - tiny_topology.base_prefix]
+        dst = (prefix << 8) | min(record.active_hosts)
+        result = tracer.trace(dst)
+        assert result.probes == result.triggering_ttl
+
+    def test_unresponsive_target_probes_everything(self, tiny_topology,
+                                                   tracer):
+        prefix = first_prefix_with(
+            tiny_topology, lambda record, stub: not record.active_hosts
+            and not stub.host_unreachable and 233 not in record.special_hosts)
+        dst = (prefix << 8) | 233
+        result = tracer.trace(dst)
+        assert result.triggering_ttl is None
+        assert result.probes == 32
+
+    def test_hops_are_true_interfaces(self, tiny_topology, tracer):
+        prefix = _responsive_prefix(tiny_topology)
+        record = tiny_topology.prefixes[prefix - tiny_topology.base_prefix]
+        dst = (prefix << 8) | min(record.active_hosts)
+        result = tracer.trace(dst)
+        truth = tiny_topology.true_route(
+            dst, flow=__import__("repro.net.checksum",
+                                 fromlist=["addr_checksum"]).addr_checksum(dst))
+        for ttl, responder in result.hops.items():
+            assert truth[ttl - 1] == responder
+
+    def test_clock_advances(self, tiny_topology, tracer):
+        prefix = _responsive_prefix(tiny_topology)
+        dst = (prefix << 8) | 1
+        before = tracer.clock.now
+        tracer.trace(dst)
+        assert tracer.clock.now > before
+
+    def test_max_ttl_truncates(self, tiny_topology):
+        tracer = ClassicTraceroute(SimulatedNetwork(tiny_topology), max_ttl=4)
+        prefix = _responsive_prefix(tiny_topology)
+        dst = (prefix << 8) | 1
+        assert tracer.trace(dst).probes <= 4
+
+    def test_rejects_bad_max_ttl(self, tiny_topology):
+        with pytest.raises(ValueError):
+            ClassicTraceroute(SimulatedNetwork(tiny_topology), max_ttl=0)
+
+    def test_start_time_shifts_epoch(self):
+        """A traceroute started in an odd epoch sees flapped routes."""
+        from repro.simnet.config import TopologyConfig
+        from repro.simnet.topology import Topology
+
+        topo = Topology(TopologyConfig(num_prefixes=256, seed=9,
+                                       route_flap_probability=0.6,
+                                       stub_active_probability=0.9))
+        prefix = first_prefix_with(
+            topo, lambda record, stub: record.flap
+            and bool(record.active_hosts) and not stub.ttl_reset)
+        record = topo.prefixes[prefix - topo.base_prefix]
+        dst = (prefix << 8) | min(record.active_hosts)
+        epoch_len = topo.config.flap_epoch_seconds
+        early = ClassicTraceroute(SimulatedNetwork(topo)).trace(dst)
+        late = ClassicTraceroute(SimulatedNetwork(topo),
+                                 start_time=epoch_len * 1.1).trace(dst)
+        assert late.triggering_ttl == early.triggering_ttl + 1

@@ -1,0 +1,145 @@
+"""Yarrp baseline: stateless bulk probing, fill mode, protection, UDP bug."""
+
+import pytest
+
+from repro.baselines.yarrp import Yarrp, YarrpConfig, YarrpUdpEncodingError
+from repro.core.config import FlashRouteConfig
+from repro.core.prober import FlashRoute
+from repro.simnet.network import SimulatedNetwork
+
+
+class TestConfig:
+    def test_yarrp32_label(self):
+        assert YarrpConfig.yarrp_32().label == "Yarrp-32"
+
+    def test_yarrp16_label(self):
+        assert YarrpConfig.yarrp_16().label == "Yarrp-16"
+
+    def test_protection_label(self):
+        assert "3-hop" in YarrpConfig.yarrp_32(neighborhood_radius=3).label
+
+    def test_bulk_ttl(self):
+        assert YarrpConfig.yarrp_32().bulk_ttl == 32
+        assert YarrpConfig.yarrp_16().bulk_ttl == 16
+
+    @pytest.mark.parametrize("kwargs", [
+        {"max_ttl": 0}, {"max_ttl": 64}, {"fill_start": 0},
+        {"probe_type": "icmp"}, {"neighborhood_radius": -1},
+    ])
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            YarrpConfig(**kwargs)
+
+
+class TestYarrp32:
+    def test_probe_count_is_exact(self, tiny_topology, tiny_targets):
+        result = Yarrp(YarrpConfig.yarrp_32()).scan(
+            SimulatedNetwork(tiny_topology), targets=tiny_targets)
+        assert result.probes_sent == 32 * len(tiny_targets)
+
+    def test_probes_every_ttl_equally(self, tiny_topology, tiny_targets):
+        result = Yarrp(YarrpConfig.yarrp_32()).scan(
+            SimulatedNetwork(tiny_topology), targets=tiny_targets)
+        counts = set(result.ttl_probe_histogram[ttl] for ttl in range(1, 33))
+        assert counts == {len(tiny_targets)}
+
+    def test_interfaces_are_real(self, tiny_topology, tiny_targets):
+        result = Yarrp(YarrpConfig.yarrp_32()).scan(
+            SimulatedNetwork(tiny_topology), targets=tiny_targets)
+        assert result.interfaces() <= set(tiny_topology.iface_addrs)
+
+    def test_deterministic(self, tiny_topology, tiny_targets):
+        a = Yarrp(YarrpConfig.yarrp_32()).scan(
+            SimulatedNetwork(tiny_topology), targets=tiny_targets)
+        b = Yarrp(YarrpConfig.yarrp_32()).scan(
+            SimulatedNetwork(tiny_topology), targets=tiny_targets)
+        assert a.routes == b.routes
+        assert a.probes_sent == b.probes_sent
+
+    def test_tcp_finds_fewer_than_udp_simulation(self, tiny_topology,
+                                                 tiny_targets):
+        tcp = Yarrp(YarrpConfig.yarrp_32()).scan(
+            SimulatedNetwork(tiny_topology), targets=tiny_targets)
+        udp_sim = FlashRoute(FlashRouteConfig.yarrp32_udp_simulation()).scan(
+            SimulatedNetwork(tiny_topology), targets=tiny_targets)
+        assert tcp.interface_count() <= udp_sim.interface_count()
+
+
+class TestYarrp16FillMode:
+    def test_bulk_plus_fill_probe_count(self, tiny_topology, tiny_targets):
+        result = Yarrp(YarrpConfig.yarrp_16()).scan(
+            SimulatedNetwork(tiny_topology), targets=tiny_targets)
+        bulk = 16 * len(tiny_targets)
+        assert result.probes_sent >= bulk
+        assert result.probes_sent < 32 * len(tiny_targets)
+
+    def test_fill_probes_only_beyond_bulk(self, tiny_topology, tiny_targets):
+        result = Yarrp(YarrpConfig.yarrp_16()).scan(
+            SimulatedNetwork(tiny_topology), targets=tiny_targets)
+        for ttl in range(1, 17):
+            assert result.ttl_probe_histogram[ttl] == len(tiny_targets)
+        for ttl in range(17, 33):
+            assert result.ttl_probe_histogram.get(ttl, 0) < len(tiny_targets)
+
+    def test_fill_mode_loses_interfaces(self, tiny_topology, tiny_targets):
+        full = Yarrp(YarrpConfig.yarrp_32()).scan(
+            SimulatedNetwork(tiny_topology), targets=tiny_targets)
+        fill = Yarrp(YarrpConfig.yarrp_16()).scan(
+            SimulatedNetwork(tiny_topology), targets=tiny_targets)
+        assert fill.interface_count() < full.interface_count()
+
+    def test_fill_chain_contiguity(self, tiny_topology, tiny_targets):
+        """A fill probe at TTL t implies the same destination was probed at
+        every TTL 17..t-1 too (the chain is sequential)."""
+        network = SimulatedNetwork(tiny_topology, log_probes=True)
+        Yarrp(YarrpConfig.yarrp_16()).scan(network, targets=tiny_targets)
+        by_dst = {}
+        for _t, dst, ttl in network.probe_log:
+            by_dst.setdefault(dst, set()).add(ttl)
+        for ttls in by_dst.values():
+            deep = sorted(t for t in ttls if t > 16)
+            assert deep == list(range(17, 17 + len(deep)))
+
+
+class TestNeighborhoodProtection:
+    def test_protection_reduces_probes(self, tiny_topology, tiny_targets):
+        # The scan must outlast the staleness timeout for protection to arm
+        # (the paper's hour-long scans dwarf the 30 s default).
+        plain = Yarrp(YarrpConfig.yarrp_32(probing_rate=500.0)).scan(
+            SimulatedNetwork(tiny_topology), targets=tiny_targets)
+        protected = Yarrp(YarrpConfig.yarrp_32(
+            probing_rate=500.0, neighborhood_radius=3,
+            neighborhood_timeout=1.0)).scan(
+            SimulatedNetwork(tiny_topology), targets=tiny_targets)
+        assert protected.probes_sent < plain.probes_sent
+        assert protected.skipped_probes > 0
+
+    def test_protection_only_affects_protected_ttls(self, tiny_topology,
+                                                    tiny_targets):
+        protected = Yarrp(YarrpConfig.yarrp_32(
+            probing_rate=500.0, neighborhood_radius=3,
+            neighborhood_timeout=1.0)).scan(
+            SimulatedNetwork(tiny_topology), targets=tiny_targets)
+        for ttl in range(4, 33):
+            assert protected.ttl_probe_histogram[ttl] == len(tiny_targets)
+
+
+class TestUdpMode:
+    def test_reproduces_message_too_long(self, tiny_topology, tiny_targets):
+        """Paper footnote 2: Yarrp's UDP timestamp encoding outgrows the
+        MTU and the scan dies with 'Message too long'."""
+        scanner = Yarrp(YarrpConfig(max_ttl=32, probe_type="udp",
+                                    probing_rate=100.0))
+        with pytest.raises(YarrpUdpEncodingError):
+            scanner.scan(SimulatedNetwork(tiny_topology),
+                         targets=tiny_targets)
+
+    def test_udp_works_for_very_short_scans(self, tiny_topology):
+        """Under ~1.5 s of scan time the length field still fits."""
+        targets = {next(iter(sorted(tiny_topology.scanned_prefixes()))):
+                   (tiny_topology.base_prefix << 8) | 5}
+        scanner = Yarrp(YarrpConfig(max_ttl=4, probe_type="udp",
+                                    probing_rate=1000.0))
+        result = scanner.scan(SimulatedNetwork(tiny_topology),
+                              targets=targets)
+        assert result.probes_sent == 4

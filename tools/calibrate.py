@@ -1,0 +1,87 @@
+#!/usr/bin/env python
+"""Calibration harness: runs all tools on one topology and prints the
+shape metrics the paper reports, next to the paper's values.
+
+Usage: python tools/calibrate.py [num_prefixes] [seed]
+"""
+import sys
+import time
+
+from repro.simnet import Topology, TopologyConfig, SimulatedNetwork
+from repro.core import FlashRoute, FlashRouteConfig, random_targets
+from repro.core.prober import _ScanRun
+from repro.baselines import Yarrp, YarrpConfig, Scamper, ScamperConfig
+
+
+def main() -> None:
+    num_prefixes = int(sys.argv[1]) if len(sys.argv) > 1 else 2048
+    seed = int(sys.argv[2]) if len(sys.argv) > 2 else 20201027
+    topo = Topology(TopologyConfig(num_prefixes=num_prefixes, seed=seed))
+    targets = random_targets(topo, seed=1)
+    rows = {}
+
+    def run(label, fn):
+        t0 = time.time()
+        res = fn()
+        rows[label] = res
+        print(f'{label:14s} ifaces={res.interface_count():6d} '
+              f'probes={res.probes_sent:8d} vtime={res.duration:8.1f}s '
+              f'wall={time.time()-t0:5.1f}s')
+        return res
+
+    run('FR-16', lambda: FlashRoute(FlashRouteConfig.flashroute_16()).scan(
+        SimulatedNetwork(topo), targets=targets))
+    run('FR-32', lambda: FlashRoute(FlashRouteConfig.flashroute_32()).scan(
+        SimulatedNetwork(topo), targets=targets))
+    run('Yarrp-16', lambda: Yarrp(YarrpConfig.yarrp_16()).scan(
+        SimulatedNetwork(topo), targets=targets))
+    run('Yarrp-32', lambda: Yarrp(YarrpConfig.yarrp_32()).scan(
+        SimulatedNetwork(topo), targets=targets))
+    run('Scamper-16', lambda: Scamper(ScamperConfig.scamper_16()).scan(
+        SimulatedNetwork(topo), targets=targets))
+    run('sim', lambda: FlashRoute(FlashRouteConfig.yarrp32_udp_simulation()).scan(
+        SimulatedNetwork(topo), targets=targets, tool_name='sim'))
+
+    fr16, fr32, y16, y32, sc, sim = (rows[k] for k in
+                                     ['FR-16', 'FR-32', 'Yarrp-16',
+                                      'Yarrp-32', 'Scamper-16', 'sim'])
+    print()
+    checks = [
+        ('FR16/Yarrp32 probes', fr16.probes_sent / y32.probes_sent, 0.275),
+        ('FR32/FR16 probes', fr32.probes_sent / fr16.probes_sent, 1.63),
+        ('FR16/Yarrp32 time', fr16.duration / y32.duration, 0.287),
+        ('Yarrp16/Yarrp32 ifaces', y16.interface_count() / y32.interface_count(), 0.49),
+        ('Scamper/FR16 probes', sc.probes_sent / fr16.probes_sent, 1.347),
+        ('Scamper/FR16 ifaces', sc.interface_count() / fr16.interface_count(), 1.008),
+        ('FR16/sim ifaces', fr16.interface_count() / sim.interface_count(), 0.980),
+        ('FR32/sim ifaces', fr32.interface_count() / sim.interface_count(), 0.974),
+        ('Yarrp32tcp/sim ifaces', y32.interface_count() / sim.interface_count(), 0.966),
+    ]
+    for name, got, want in checks:
+        print(f'  {name:26s} {got:6.3f}  (paper {want:.3f})')
+
+    for mode, want_m, want_p in (('hitlist', 0.100, 0.282),
+                                 ('random', 0.040, 0.190)):
+        net = SimulatedNetwork(topo)
+        run_state = _ScanRun(
+            FlashRouteConfig(split_ttl=16, preprobe=mode), net, targets,
+            None, None, None, None, None)
+        run_state._run_preprobe()
+        measured = len(run_state.preprobe_outcome.measured) / num_prefixes
+        predicted = len(run_state.preprobe_outcome.predicted) / num_prefixes
+        print(f'  {mode}-preprobe measured     {measured:6.3f}  (paper {want_m:.3f})')
+        print(f'  {mode}-preprobe predicted    {predicted:6.3f}  (paper {want_p:.3f})')
+
+    depth_of = {}
+    for _pfx, hops in sim.routes.items():
+        for ttl, addr in hops.items():
+            known = depth_of.get(addr)
+            if known is None or ttl < known:
+                depth_of[addr] = ttl
+    deep = sum(1 for d in depth_of.values() if d > 16)
+    print(f'  unique ifaces deeper than 16   {deep/len(depth_of):6.3f}  '
+          f'(needed ~0.45 for Yarrp-16 shape)')
+
+
+if __name__ == '__main__':
+    main()
