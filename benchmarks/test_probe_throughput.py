@@ -1,0 +1,41 @@
+"""Raw probe throughput: the route-cache fast path vs. the uncached path.
+
+Unlike the table/figure benchmarks this one measures the simulator itself:
+it replays a FlashRoute-shaped probe stream through ``SimulatedNetwork``
+three ways (uncached scalar, cached scalar, cached batched) and regenerates
+``BENCH_probe_throughput.json`` at the repo root — the same artifact
+``tools/bench_report.py`` produces standalone.  Stream size follows
+``REPRO_BENCH_PREFIXES`` (default 4096; CI smoke runs use 256).
+
+The hard >=2x acceptance number is measured on the default 4096-prefix
+topology (see the committed report); here the assertion is deliberately
+lenient so smoke sizes and noisy CI neighbours don't flake — but the cache
+must always be a clear win, and all passes must agree on every response.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import sys
+
+from conftest import run_once
+
+sys.path.insert(
+    0, str(pathlib.Path(__file__).resolve().parent.parent / "tools"))
+
+import bench_report  # noqa: E402  (repo tools/, path-injected above)
+
+
+def test_probe_throughput_report(benchmark, save_result):
+    report = run_once(benchmark, bench_report.run_benchmark)
+    path = bench_report.write_report(report)
+    assert path.name == bench_report.REPORT_NAME
+    save_result("probe_throughput",
+                json.dumps(report["speedup"], sort_keys=True))
+
+    # run_benchmark() already asserts all passes answered the stream with
+    # identical response counts; here we pin the headline properties.
+    assert report["responses"] > 0
+    assert report["route_cache"]["udp_tables"] > 0
+    assert max(report["speedup"].values()) > 1.15, report["speedup"]

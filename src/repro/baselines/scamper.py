@@ -110,11 +110,16 @@ class Scamper:
     def _probe(self, network: SimulatedNetwork, dst: int, ttl: int,
                clock: VirtualClock, send_gap: float,
                result: ScanResult):
-        """One paced probe with synchronous response (see class docstring)."""
+        """One paced probe with synchronous response (see class docstring).
+
+        Scamper decides every next probe from the previous answer, so the
+        batch entry point is used with single-probe bursts: same fast path,
+        no reordering of the decision loop.
+        """
         marking = encode_probe(dst, ttl, clock.now)
-        response = network.send_probe(dst, ttl, clock.now, marking.src_port,
-                                      ipid=marking.ipid,
-                                      udp_length=marking.udp_length)
+        response = network.send_probes(
+            [(dst, ttl, clock.now, marking.src_port, marking.ipid,
+              marking.udp_length)])[0]
         result.probes_sent += 1
         result.ttl_probe_histogram[ttl] += 1
         clock.advance(send_gap)

@@ -65,9 +65,11 @@ class ClassicTraceroute:
         result = TracerouteResult(dst=dst)
         for ttl in range(1, self.max_ttl + 1):
             marking = core.encode_probe(dst, ttl, self.clock.now)
-            response = self.network.send_probe(
-                dst, ttl, self.clock.now, marking.src_port,
-                ipid=marking.ipid, udp_length=marking.udp_length)
+            # Classic traceroute is strictly synchronous, so the batch
+            # entry point carries exactly one probe per decision.
+            response = self.network.send_probes(
+                [(dst, ttl, self.clock.now, marking.src_port,
+                  marking.ipid, marking.udp_length)])[0]
             result.probes += 1
             # Sequential semantics: wait out the round trip (or the pacing
             # gap, whichever is longer) before the next hop.

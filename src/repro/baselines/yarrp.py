@@ -37,6 +37,9 @@ from ..core.targets import random_targets
 
 _SETTLE_SECONDS = 1.0
 
+#: Probes emitted per ``send_probes`` burst in the stateless bulk phase.
+_BULK_CHUNK = 64
+
 #: Real Yarrp UDP encodes elapsed milliseconds in the packet length; the
 #: system rejects datagrams beyond this size ("Message too long").
 _MAX_UDP_LENGTH = 1472
@@ -167,19 +170,37 @@ class _YarrpRun:
         return (self.clock.now - last_new) > config.neighborhood_timeout
 
     def _send(self, dst: int, ttl: int) -> None:
-        marking = encode_probe(dst, ttl, self.clock.now)
-        if self.proto == PROTO_UDP:
-            udp_length = self._udp_length_for(self.clock.now)
-        else:
-            udp_length = marking.udp_length
-        response = self.network.send_probe(
-            dst, ttl, self.clock.now, marking.src_port,
-            ipid=marking.ipid, udp_length=udp_length, proto=self.proto)
-        self.result.probes_sent += 1
-        self.result.ttl_probe_histogram[ttl] += 1
-        if response is not None:
-            self.queue.push(response)
-        self.clock.advance(self.send_gap)
+        self._send_chunk([(dst, ttl)])
+
+    def _send_chunk(self, items: List[Tuple[int, int]]) -> None:
+        """Emit ``(dst, ttl)`` probes back-to-back through ``send_probes``.
+
+        Pacing, encodings and the UDP length-field failure are identical to
+        sending one by one; the ``finally`` flushes probes already built
+        when the UDP encoding outgrows the MTU mid-chunk, so the partial
+        burst reaches the network exactly as the scalar path would have.
+        """
+        clock = self.clock
+        gap = self.send_gap
+        proto = self.proto
+        udp = proto == PROTO_UDP
+        histogram = self.result.ttl_probe_histogram
+        probes: List[Tuple[int, int, float, int, int, int]] = []
+        try:
+            for dst, ttl in items:
+                now = clock.now
+                marking = encode_probe(dst, ttl, now)
+                if udp:
+                    udp_length = self._udp_length_for(now)
+                else:
+                    udp_length = marking.udp_length
+                probes.append((dst, ttl, now, marking.src_port, marking.ipid,
+                               udp_length))
+                histogram[ttl] += 1
+                clock.advance(gap)
+        finally:
+            self.result.probes_sent += len(probes)
+            self.queue.push_many(self.network.send_probes(probes, proto=proto))
 
     def _drain(self, until: float) -> None:
         for response in self.queue.pop_until(until):
@@ -229,6 +250,8 @@ class _YarrpRun:
         config = self.config
         domain = len(self.offsets) * config.bulk_ttl
         cycle = MultiplicativeCycle(domain, config.seed ^ 0x59A44)
+        if config.fill_start is None and config.neighborhood_radius == 0:
+            return self._execute_stateless(cycle)
         for value in cycle:
             self._drain(self.clock.now)
             while self.fill_backlog:
@@ -251,6 +274,36 @@ class _YarrpRun:
             while self.fill_backlog:
                 fill_dst, fill_ttl = self.fill_backlog.pop()
                 self._send(fill_dst, fill_ttl)
+        self.result.duration = self.clock.now
+        self.result.skipped_probes = self.skipped_by_protection
+        return self.result
+
+    def _execute_stateless(self, cycle: MultiplicativeCycle) -> ScanResult:
+        """The bulk phase with no fill mode and no neighborhood protection.
+
+        Nothing a response does in this configuration feeds back into what
+        gets sent (processing only records hops/counters), so probes can be
+        emitted in chunks with one drain per chunk — same send times, same
+        responses, same :class:`ScanResult`, far less per-probe overhead.
+        """
+        config = self.config
+        bulk_ttl = config.bulk_ttl
+        targets = self.targets
+        base_prefix = self.base_prefix
+        offsets = self.offsets
+        chunk: List[Tuple[int, int]] = []
+        for value in cycle:
+            index, ttl_index = divmod(value, bulk_ttl)
+            chunk.append((targets[base_prefix + offsets[index]],
+                          ttl_index + 1))
+            if len(chunk) >= _BULK_CHUNK:
+                self._send_chunk(chunk)
+                self._drain(self.clock.now)
+                chunk.clear()
+        if chunk:
+            self._send_chunk(chunk)
+        self.clock.advance(_SETTLE_SECONDS)
+        self._drain(self.clock.now)
         self.result.duration = self.clock.now
         self.result.skipped_probes = self.skipped_by_protection
         return self.result

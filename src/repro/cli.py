@@ -95,6 +95,10 @@ def _build_parser() -> argparse.ArgumentParser:
                            "(.csv)")
     scan.add_argument("--pcap", metavar="FILE", default=None,
                       help="capture every probe and response to a pcap file")
+    scan.add_argument("--no-route-cache", action="store_true",
+                      help="bypass the simulator's flat route cache and "
+                           "resolve every probe from scratch (A/B and "
+                           "debugging; results are identical)")
 
     experiment = sub.add_parser("experiment",
                                 help="regenerate a paper table/figure")
@@ -155,7 +159,8 @@ def _save_output(result: ScanResult, path: str) -> None:
 def _run_scan(args: argparse.Namespace) -> int:
     topology = Topology(TopologyConfig(num_prefixes=args.prefixes,
                                        seed=args.seed))
-    network = SimulatedNetwork(topology)
+    network = SimulatedNetwork(topology,
+                               use_route_cache=not args.no_route_cache)
     pcap_handle = None
     if args.pcap is not None:
         from .simnet.capture import CapturingNetwork

@@ -74,6 +74,12 @@ class FlashRouteConfig:
     #: Safety valve: abort scans that somehow exceed this many rounds.
     max_rounds: int = 4096
 
+    #: Serve probes from the simulator's flat route cache (the default fast
+    #: path).  ``False`` forces the original per-probe resolution for the
+    #: whole scan — an A/B and debugging escape hatch; results are
+    #: identical either way (see ``docs/simulator.md``).
+    route_cache: bool = True
+
     def __post_init__(self) -> None:
         if not 1 <= self.split_ttl <= self.max_ttl:
             raise ValueError("split_ttl must be within [1, max_ttl]")

@@ -25,7 +25,7 @@ send time before every scheduling decision (see DESIGN.md §6).
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Optional, Set
+from typing import Dict, Iterable, List, Optional, Set, Tuple
 
 from ..net.icmp import IcmpResponse, ResponseKind, distance_from_unreachable
 from ..simnet.config import scaled_probing_rate
@@ -188,7 +188,11 @@ class _ScanRun:
                                scan_offset=self.config.scan_offset)
         response = self.network.send_probe(
             dst, ttl, self.clock.now, marking.src_port,
-            ipid=marking.ipid, udp_length=marking.udp_length)
+            ipid=marking.ipid, udp_length=marking.udp_length,
+            # Hitlist preprobes hit their representative exactly once and
+            # the main phase targets a different address in the /24, so
+            # building a route-cache table for them would never pay off.
+            single=is_preprobe and not self.fold_preprobe)
         self.result.probes_sent += 1
         if is_preprobe:
             self.result.preprobe_probes += 1
@@ -196,6 +200,31 @@ class _ScanRun:
         if response is not None:
             self.queue.push(response)
         self.clock.advance(self.send_gap)
+
+    def _send_batch(self, items: List[Tuple[int, int]]) -> None:
+        """Emit a back-to-back burst of main-phase ``(dst, ttl)`` probes
+        through ``send_probes``, pacing each at its own clock tick.
+
+        The burst lies entirely between two drain points (the ring walk
+        drains before every destination), so batching is observation-
+        equivalent to per-probe sends: same send times, same encodings,
+        same response arrivals.
+        """
+        clock = self.clock
+        gap = self.send_gap
+        scan_offset = self.config.scan_offset
+        histogram = self.result.ttl_probe_histogram
+        probes = []
+        for dst, ttl in items:
+            now = clock.now
+            marking = encode_probe(dst, ttl, now, is_preprobe=False,
+                                   scan_offset=scan_offset)
+            probes.append((dst, ttl, now, marking.src_port, marking.ipid,
+                           marking.udp_length))
+            histogram[ttl] += 1
+            clock.advance(gap)
+        self.result.probes_sent += len(probes)
+        self.queue.push_many(self.network.send_probes(probes))
 
     # ------------------------------------------------------------------ #
     # Receive path
@@ -326,29 +355,37 @@ class _ScanRun:
                 if dcb.is_removed(offset):
                     continue
                 destination = dcb.destination[offset]
-                sent = False
+                pair: List[Tuple[int, int]] = []
                 backward = dcb.next_backward[offset]
                 if backward >= 1:
-                    self._send(destination, backward, is_preprobe=False)
+                    pair.append((destination, backward))
                     dcb.next_backward[offset] = backward - 1
-                    sent = True
                 if not dcb.dest_reached(offset):
                     forward = dcb.next_forward[offset]
                     limit = min(dcb.forward_horizon[offset], config.max_ttl)
                     if forward <= limit:
-                        self._send(destination, forward, is_preprobe=False)
+                        pair.append((destination, forward))
                         dcb.next_forward[offset] = forward + 1
-                        sent = True
-                if not sent and self._destination_finished(offset):
+                if pair:
+                    self._send_batch(pair)
+                elif self._destination_finished(offset):
                     dcb.remove(offset)
             self.clock.advance_to(round_start + config.round_seconds)
             self._drain(self.clock.now)
 
     def execute(self) -> ScanResult:
-        if self.config.preprobe is not PreprobeMode.NONE:
-            self._run_preprobe()
-        self._run_main_rounds()
-        self.clock.advance(_SETTLE_SECONDS)
-        self._drain(self.clock.now)
-        self.result.duration = self.clock.now
-        return self.result
+        set_cache = getattr(self.network, "set_route_cache_enabled", None)
+        was_cached = None
+        if not self.config.route_cache and set_cache is not None:
+            was_cached = set_cache(False)
+        try:
+            if self.config.preprobe is not PreprobeMode.NONE:
+                self._run_preprobe()
+            self._run_main_rounds()
+            self.clock.advance(_SETTLE_SECONDS)
+            self._drain(self.clock.now)
+            self.result.duration = self.clock.now
+            return self.result
+        finally:
+            if was_cached:
+                set_cache(True)

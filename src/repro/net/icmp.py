@@ -80,6 +80,9 @@ class IcmpResponse:
             single-probe hop-distance measurement (paper §3.3.1) reads.
     """
 
+    __slots__ = ("kind", "responder", "quoted", "arrival_time",
+                 "quoted_residual_ttl")
+
     kind: ResponseKind
     responder: int
     quoted: ProbeHeader

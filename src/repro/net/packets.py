@@ -12,7 +12,7 @@ canonical definition of the wire format and are round-trip tested.
 from __future__ import annotations
 
 import struct
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from .checksum import internet_checksum
 
@@ -150,7 +150,6 @@ class TCPHeader:
                    urgent=urgent)
 
 
-@dataclass
 class ProbeHeader:
     """The structured form of a probe's outer headers.
 
@@ -158,18 +157,49 @@ class ProbeHeader:
     ICMP error quotation preserves (the full IPv4 header plus the first
     8 bytes of the transport header).  ``pack``/``unpack`` translate to and
     from real bytes.
+
+    Hand-written rather than a dataclass: one instance is allocated per
+    simulated response (10^5..10^6 per scan), and ``__slots__`` with field
+    defaults needs a plain class on the Pythons we support.  Equality and
+    repr match the previous dataclass (payload compared, not shown).
     """
 
-    src: int
-    dst: int
-    ttl: int
-    ipid: int
-    proto: int = PROTO_UDP
-    src_port: int = 0
-    dst_port: int = 33434
-    udp_length: int = UDP_HEADER_LEN
-    tcp_seq: int = 0
-    payload: bytes = field(default=b"", repr=False)
+    __slots__ = ("src", "dst", "ttl", "ipid", "proto", "src_port",
+                 "dst_port", "udp_length", "tcp_seq", "payload")
+
+    def __init__(self, src: int, dst: int, ttl: int, ipid: int,
+                 proto: int = PROTO_UDP, src_port: int = 0,
+                 dst_port: int = 33434, udp_length: int = UDP_HEADER_LEN,
+                 tcp_seq: int = 0, payload: bytes = b"") -> None:
+        self.src = src
+        self.dst = dst
+        self.ttl = ttl
+        self.ipid = ipid
+        self.proto = proto
+        self.src_port = src_port
+        self.dst_port = dst_port
+        self.udp_length = udp_length
+        self.tcp_seq = tcp_seq
+        self.payload = payload
+
+    def __eq__(self, other: object) -> bool:
+        if other.__class__ is not ProbeHeader:
+            return NotImplemented
+        return (self.src == other.src and self.dst == other.dst
+                and self.ttl == other.ttl and self.ipid == other.ipid
+                and self.proto == other.proto
+                and self.src_port == other.src_port
+                and self.dst_port == other.dst_port
+                and self.udp_length == other.udp_length
+                and self.tcp_seq == other.tcp_seq
+                and self.payload == other.payload)
+
+    def __repr__(self) -> str:
+        return (f"ProbeHeader(src={self.src!r}, dst={self.dst!r}, "
+                f"ttl={self.ttl!r}, ipid={self.ipid!r}, "
+                f"proto={self.proto!r}, src_port={self.src_port!r}, "
+                f"dst_port={self.dst_port!r}, "
+                f"udp_length={self.udp_length!r}, tcp_seq={self.tcp_seq!r})")
 
     def pack(self) -> bytes:
         """Serialize the probe to wire bytes (IPv4 + transport + payload)."""

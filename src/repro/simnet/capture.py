@@ -9,7 +9,7 @@ a pcap file that tcpdump/Wireshark/scapy can open.
 
 from __future__ import annotations
 
-from typing import BinaryIO, Optional
+from typing import BinaryIO, List, Optional
 
 from ..net.icmp import IcmpResponse, ResponseKind, pack_icmp_error
 from ..net.packets import PROTO_TCP, PROTO_UDP, ProbeHeader, TCPHeader, IPv4Header
@@ -56,7 +56,8 @@ class CapturingNetwork:
     def send_probe(self, dst: int, ttl: int, send_time: float,
                    src_port: int, dst_port: int = 33434, ipid: int = 0,
                    udp_length: int = 8, proto: int = PROTO_UDP,
-                   flow: Optional[int] = None) -> Optional[IcmpResponse]:
+                   flow: Optional[int] = None,
+                   single: bool = False) -> Optional[IcmpResponse]:
         vantage = self._network.topology.vantage_addr
         probe = ProbeHeader(src=vantage, dst=dst, ttl=ttl, ipid=ipid,
                             proto=proto, src_port=src_port,
@@ -64,8 +65,22 @@ class CapturingNetwork:
         self._writer.write(send_time, probe.pack())
         response = self._network.send_probe(
             dst, ttl, send_time, src_port, dst_port=dst_port, ipid=ipid,
-            udp_length=udp_length, proto=proto, flow=flow)
+            udp_length=udp_length, proto=proto, flow=flow, single=single)
         if response is not None:
             self._writer.write(response.arrival_time,
                                response_wire_bytes(response, vantage))
         return response
+
+    def send_probes(self, probes, dst_port: int = 33434,
+                    proto: int = PROTO_UDP,
+                    flow: Optional[int] = None) -> List[Optional[IcmpResponse]]:
+        """Batched counterpart of :meth:`send_probe`.
+
+        Explicit (not left to ``__getattr__``) so batched engines don't
+        bypass the sniffer; each probe goes through the capturing scalar
+        path, which is semantically identical to the inner batch path.
+        """
+        return [self.send_probe(dst, ttl, send_time, src_port,
+                                dst_port=dst_port, ipid=ipid,
+                                udp_length=udp_length, proto=proto, flow=flow)
+                for dst, ttl, send_time, src_port, ipid, udp_length in probes]

@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import heapq
 from array import array
-from typing import Iterator, List, Tuple
+from typing import Iterable, Iterator, List, Optional, Tuple
 
 from ..net.icmp import IcmpResponse
 
@@ -52,6 +52,19 @@ class ResponseQueue:
     def push(self, response: IcmpResponse) -> None:
         self._seq += 1
         heapq.heappush(self._heap, (response.arrival_time, self._seq, response))
+
+    def push_many(self, responses: Iterable[Optional[IcmpResponse]]) -> None:
+        """Push a batch, skipping ``None`` slots — accepts the result of
+        ``SimulatedNetwork.send_probes`` directly.  Arrival-time ties keep
+        send order, same as pushing one by one."""
+        heap = self._heap
+        seq = self._seq
+        push = heapq.heappush
+        for response in responses:
+            if response is not None:
+                seq += 1
+                push(heap, (response.arrival_time, seq, response))
+        self._seq = seq
 
     def pop_until(self, timestamp: float) -> Iterator[IcmpResponse]:
         """Yield responses whose arrival time is <= ``timestamp``, in order."""

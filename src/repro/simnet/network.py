@@ -8,22 +8,35 @@ probe log for the intrusiveness analysis.
 
 ``send_probe`` is the single entry point every probing engine uses.  It is
 deliberately scalar-argument (no per-probe object is allocated unless a
-response exists) because full scans push through 10^5..10^7 probes.
+response exists) because full scans push through 10^5..10^7 probes.  By
+default it is served from a :class:`~repro.simnet.routecache.RouteCache`
+fast path: the route and every send-time-independent response decision are
+resolved once per ``(dst, flow-class, flap-shift)`` key, so a probe costs a
+table lookup plus (for responders only) rate limiting and response
+construction.  ``send_probes`` batches a burst of probes between two drain
+points, amortizing the per-destination lookups; engines use it for the
+back-to-back probes of one ring-walk step.  Construct with
+``use_route_cache=False`` (or flip :meth:`set_route_cache_enabled`) to run
+the original resolution path — both paths are behavior-identical and the
+equivalence tests assert it probe-for-probe.
 """
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Iterable, List, Optional, Sequence, Tuple
 
 from ..net.icmp import IcmpResponse, ResponseKind
 from ..net.packets import PROTO_TCP, PROTO_UDP, ProbeHeader, UDP_HEADER_LEN
 from .engine import ProbeLog
 from .entities import HopKind
 from .latency import LatencyModel
-from .ratelimit import IcmpRateLimiter
+from .ratelimit import _GENERATION_SHIFT, IcmpRateLimiter
+from .routecache import ROUTE_CACHE_TTLS, RouteCache, host_answers_tcp
 from .topology import Topology
 
-_HOST_HASH_MULT = 2654435761
+#: One probe of a ``send_probes`` batch: (dst, ttl, send_time, src_port,
+#: ipid, udp_length).  Destination port, protocol and flow are per-batch.
+BatchProbe = Tuple[int, int, float, int, int, int]
 
 
 class SimulatedNetwork:
@@ -33,20 +46,47 @@ class SimulatedNetwork:
     bins and counters start clean, mirroring independent real-world runs.
     """
 
+    __slots__ = ("topology", "latency", "rate_limiter", "route_cache",
+                 "probe_log", "probes_sent", "responses_generated",
+                 "rewritten_responses", "_flap_epoch_seconds", "_vantage",
+                 "_stamp_len", "_lk")
+
     def __init__(self, topology: Topology, log_probes: bool = False,
-                 rate_limit: Optional[int] = None) -> None:
+                 rate_limit: Optional[int] = None,
+                 use_route_cache: bool = True) -> None:
         self.topology = topology
         cfg = topology.config
         self.latency = LatencyModel(cfg.hop_latency, cfg.latency_jitter)
         self.rate_limiter = IcmpRateLimiter(
-            rate_limit if rate_limit is not None else cfg.icmp_rate_limit)
+            rate_limit if rate_limit is not None else cfg.icmp_rate_limit,
+            num_interfaces=len(topology.iface_addrs))
+        self.route_cache: Optional[RouteCache] = (
+            RouteCache(topology) if use_route_cache else None)
+        #: Size of the limiter's array backing (never changes after
+        #: construction; -1 for the dict fallback), hoisted for the inlined
+        #: rate-limit check on the probe fast path.
+        self._stamp_len = (len(self.rate_limiter._stamp)
+                           if self.rate_limiter._stamp is not None else -1)
         self.probe_log: Optional[ProbeLog] = ProbeLog() if log_probes else None
         self.probes_sent = 0
         self.responses_generated = 0
         self.rewritten_responses = 0
+        self._flap_epoch_seconds = cfg.flap_epoch_seconds
+        self._vantage = topology.vantage_addr
+        # Last-key memo for scalar send_probe: scans probe one destination
+        # ~15-30 times back to back, so remembering the last outcome table
+        # skips the key tuple + dict probe on the vast majority of calls.
+        # Packed as one (dst, flow, parity, proto, table) tuple so the hit
+        # path costs a single attribute load.
+        self._lk: Optional[Tuple] = None
 
     def reset(self) -> None:
-        """Clear dynamic state between scans over the same topology."""
+        """Clear dynamic state between scans over the same topology.
+
+        The route cache survives: it is a pure function of the immutable
+        topology (epochs are part of its key), so it stays warm across
+        back-to-back scans exactly like real routes persist between runs.
+        """
         self.rate_limiter.reset()
         if self.probe_log is not None:
             self.probe_log = ProbeLog()
@@ -54,14 +94,24 @@ class SimulatedNetwork:
         self.responses_generated = 0
         self.rewritten_responses = 0
 
+    def set_route_cache_enabled(self, enabled: bool) -> bool:
+        """Enable/disable the route-cache fast path; returns the previous
+        setting.  Disabling drops the cache; re-enabling builds a cold one."""
+        was = self.route_cache is not None
+        if enabled and self.route_cache is None:
+            self.route_cache = RouteCache(self.topology)
+        elif not enabled:
+            self.route_cache = None
+        self._lk = None
+        return was
+
     # ------------------------------------------------------------------ #
 
     def _epoch(self, send_time: float) -> int:
-        return int(send_time / self.topology.config.flap_epoch_seconds)
+        return int(send_time / self._flap_epoch_seconds)
 
     def _host_answers_tcp(self, dst: int) -> bool:
-        digest = ((dst * _HOST_HASH_MULT) >> 13) & 0xFFFF
-        return digest / 65536.0 < self.topology.config.host_tcp_rst
+        return host_answers_tcp(dst, self.topology.config.host_tcp_rst)
 
     def _rewritten_dst(self, dst: int) -> int:
         """Destination as rewritten by the stub's middlebox (same /24,
@@ -72,17 +122,233 @@ class SimulatedNetwork:
     def send_probe(self, dst: int, ttl: int, send_time: float,
                    src_port: int, dst_port: int = 33434, ipid: int = 0,
                    udp_length: int = UDP_HEADER_LEN, proto: int = PROTO_UDP,
-                   flow: Optional[int] = None) -> Optional[IcmpResponse]:
+                   flow: Optional[int] = None,
+                   single: bool = False) -> Optional[IcmpResponse]:
         """Inject one probe; return its response, or ``None`` for silence.
 
         ``flow`` is the load-balancer flow identifier and defaults to the
         source port (per-flow balancers hash the 5-tuple; within one scan
         FlashRoute keeps ports constant per destination, so the flow only
         changes across discovery-optimized extra scans).
+
+        ``single`` hints that no further probes will target this
+        destination (e.g. a hitlist preprobe whose representative differs
+        from the main-phase target): a cached outcome table is still used
+        if one exists, but a miss resolves the probe directly instead of
+        building a 32-slot table that nothing would amortize.  Purely a
+        performance hint — responses are identical either way.
         """
+        cache = self.route_cache
+        if cache is None or not 1 <= ttl <= ROUTE_CACHE_TTLS:
+            return self._send_probe_uncached(dst, ttl, send_time, src_port,
+                                             dst_port, ipid, udp_length,
+                                             proto, flow)
         self.probes_sent += 1
         if self.probe_log is not None:
             self.probe_log.append(send_time, dst, ttl)
+        flow_id = src_port if flow is None else flow
+        parity = int(send_time / self._flap_epoch_seconds) & 1
+        lk = self._lk
+        if (lk is not None and dst == lk[0] and flow_id == lk[1]
+                and parity == lk[2] and proto == lk[3]):
+            table = lk[4]
+        else:
+            tables = (cache.tcp_tables if proto == PROTO_TCP
+                      else cache.udp_tables)
+            table = tables.get((dst, flow_id, parity))
+            if table is None:
+                if single:
+                    return self._send_probe_uncached(
+                        dst, ttl, send_time, src_port, dst_port, ipid,
+                        udp_length, proto, flow, counted=True)
+                table = cache.outcome_table(dst, flow_id, parity, proto)
+            self._lk = (dst, flow_id, parity, proto, table)
+        outcome = table[ttl - 1]
+        if outcome is None:
+            return None
+        if outcome.__class__ is not tuple:
+            # LazyDest placeholder: realize this slot once, memoize it.
+            outcome = outcome.realize(ttl)
+            table[ttl - 1] = outcome
+        kind, responder, iface, ow_delay, rt_delay, residual, quoted_dst, \
+            rewrite = outcome
+        if iface >= 0:
+            # Inlined IcmpRateLimiter.allow (array branch): on the hot path
+            # the call overhead itself is measurable.  The dict fallback and
+            # the unit tests keep the method authoritative.
+            limiter = self.rate_limiter
+            if iface < self._stamp_len:
+                stamp = limiter._stamp
+                token = ((limiter._generation + 1) << _GENERATION_SHIFT) \
+                    + int(send_time + ow_delay)
+                if stamp[iface] != token:
+                    stamp[iface] = token
+                    limiter._count[iface] = 1
+                else:
+                    count = limiter._count[iface] + 1
+                    limiter._count[iface] = count
+                    if count > limiter.limit:
+                        limiter.dropped += 1
+                        limiter._overprobed.add(iface)
+                        return None
+            elif not limiter.allow(iface, send_time + ow_delay):
+                return None
+        if rewrite:
+            self.rewritten_responses += 1
+        self.responses_generated += 1
+        # Direct slot stores instead of the two constructors: the response
+        # objects are the last interpreter-frame calls left on the fast
+        # path, and a scan allocates one pair per responding probe.
+        quoted = ProbeHeader.__new__(ProbeHeader)
+        quoted.src = self._vantage
+        quoted.dst = quoted_dst
+        quoted.ttl = residual
+        quoted.ipid = ipid
+        quoted.proto = proto
+        quoted.src_port = src_port
+        quoted.dst_port = dst_port
+        quoted.udp_length = udp_length
+        quoted.tcp_seq = 0
+        quoted.payload = b""
+        response = IcmpResponse.__new__(IcmpResponse)
+        response.kind = kind
+        response.responder = responder
+        response.quoted = quoted
+        response.arrival_time = send_time + rt_delay
+        response.quoted_residual_ttl = residual
+        return response
+
+    def send_probes(self, probes: Iterable[BatchProbe],
+                    dst_port: int = 33434, proto: int = PROTO_UDP,
+                    flow: Optional[int] = None
+                    ) -> List[Optional[IcmpResponse]]:
+        """Inject a burst of probes; return one response slot per probe.
+
+        ``probes`` yields ``(dst, ttl, send_time, src_port, ipid,
+        udp_length)`` tuples, already paced by the caller's clock.  The
+        burst must lie between two of the caller's drain points — batching
+        never reorders or delays responses, it only amortizes the
+        per-destination route lookups, which is why engines batch the
+        back-to-back probes of one ring-walk step rather than whole rounds.
+        Semantically equivalent to calling :meth:`send_probe` per tuple.
+        """
+        cache = self.route_cache
+        if cache is None:
+            send_one = self._send_probe_uncached
+            return [send_one(dst, ttl, send_time, src_port, dst_port, ipid,
+                             udp_length, proto, flow)
+                    for dst, ttl, send_time, src_port, ipid, udp_length
+                    in probes]
+
+        results: List[Optional[IcmpResponse]] = []
+        append = results.append
+        log = self.probe_log
+        tables = cache.tcp_tables if proto == PROTO_TCP else cache.udp_tables
+        get_table = tables.get
+        build_table = cache.outcome_table
+        limiter = self.rate_limiter
+        allow = limiter.allow
+        stamp = limiter._stamp
+        stamp_len = self._stamp_len
+        count_arr = limiter._count
+        limit = limiter.limit
+        gen_base = (limiter._generation + 1) << _GENERATION_SHIFT
+        epoch_seconds = self._flap_epoch_seconds
+        vantage = self._vantage
+        sent = 0
+        rewritten = 0
+        generated = 0
+        last_key = None
+        table: Optional[Sequence] = None
+        for dst, ttl, send_time, src_port, ipid, udp_length in probes:
+            sent += 1
+            if log is not None:
+                log.append(send_time, dst, ttl)
+            if not 1 <= ttl <= ROUTE_CACHE_TTLS:
+                self.probes_sent += sent
+                self.rewritten_responses += rewritten
+                self.responses_generated += generated
+                sent = rewritten = generated = 0
+                append(self._send_probe_uncached(
+                    dst, ttl, send_time, src_port, dst_port, ipid,
+                    udp_length, proto, flow, counted=True))
+                continue
+            key = (dst, src_port if flow is None else flow,
+                   int(send_time / epoch_seconds) & 1)
+            if key != last_key:
+                table = get_table(key)
+                if table is None:
+                    table = build_table(key[0], key[1], key[2], proto)
+                last_key = key
+            outcome = table[ttl - 1]
+            if outcome is None:
+                append(None)
+                continue
+            if outcome.__class__ is not tuple:
+                outcome = outcome.realize(ttl)
+                table[ttl - 1] = outcome
+            kind, responder, iface, ow_delay, rt_delay, residual, \
+                quoted_dst, rewrite = outcome
+            if iface >= 0:
+                # Inlined IcmpRateLimiter.allow (array branch), hoisted
+                # per-batch; dict fallback for unsized/oversize interfaces.
+                if iface < stamp_len:
+                    token = gen_base + int(send_time + ow_delay)
+                    if stamp[iface] != token:
+                        stamp[iface] = token
+                        count_arr[iface] = 1
+                    else:
+                        count = count_arr[iface] + 1
+                        count_arr[iface] = count
+                        if count > limit:
+                            limiter.dropped += 1
+                            limiter._overprobed.add(iface)
+                            append(None)
+                            continue
+                elif not allow(iface, send_time + ow_delay):
+                    append(None)
+                    continue
+            if rewrite:
+                rewritten += 1
+            generated += 1
+            quoted = ProbeHeader.__new__(ProbeHeader)
+            quoted.src = vantage
+            quoted.dst = quoted_dst
+            quoted.ttl = residual
+            quoted.ipid = ipid
+            quoted.proto = proto
+            quoted.src_port = src_port
+            quoted.dst_port = dst_port
+            quoted.udp_length = udp_length
+            quoted.tcp_seq = 0
+            quoted.payload = b""
+            response = IcmpResponse.__new__(IcmpResponse)
+            response.kind = kind
+            response.responder = responder
+            response.quoted = quoted
+            response.arrival_time = send_time + rt_delay
+            response.quoted_residual_ttl = residual
+            append(response)
+        self.probes_sent += sent
+        self.rewritten_responses += rewritten
+        self.responses_generated += generated
+        return results
+
+    def _send_probe_uncached(self, dst: int, ttl: int, send_time: float,
+                             src_port: int, dst_port: int = 33434,
+                             ipid: int = 0,
+                             udp_length: int = UDP_HEADER_LEN,
+                             proto: int = PROTO_UDP,
+                             flow: Optional[int] = None,
+                             counted: bool = False
+                             ) -> Optional[IcmpResponse]:
+        """The original (cache-free) resolution path, kept verbatim both as
+        the ``use_route_cache=False`` escape hatch and as the ground truth
+        the equivalence tests compare the fast path against."""
+        if not counted:
+            self.probes_sent += 1
+            if self.probe_log is not None:
+                self.probe_log.append(send_time, dst, ttl)
 
         topo = self.topology
         hop = topo.hop_at(dst, ttl, flow=flow if flow is not None else src_port,

@@ -5,11 +5,25 @@ replies per second.  The paper both respects this (its Table 4 methodology
 counts an interface as overprobed in any one-second interval in which it is
 asked for more responses than the limit) and exploits it as the motivation
 for spreading probes.  We implement the same one-second-bin semantics.
+
+``allow`` is on the per-probe hot path (once per responding probe), so the
+bookkeeping is two flat ``array('q')`` lookups when the interface count is
+known up front: a *stamp* array holding a generation-tagged second and a
+*count* array.  The stamp token is ``((generation + 1) << 34) + second`` —
+``reset()`` just bumps the generation, instantly invalidating every bin
+without touching the arrays (zeroed stamps can never match, since tokens
+start at generation 1).  Constructed without ``num_interfaces`` (ad-hoc
+uses, unit tests) it falls back to an equivalent dict.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Tuple
+from array import array
+from typing import Dict, Optional, Tuple
+
+#: Seconds fit in 34 bits for any plausible virtual clock; the generation
+#: lives above them so stamps from before a reset can never collide.
+_GENERATION_SHIFT = 34
 
 
 class IcmpRateLimiter:
@@ -20,23 +34,45 @@ class IcmpRateLimiter:
     analysis, bins are aligned to whole virtual seconds.
     """
 
-    def __init__(self, limit: int) -> None:
+    def __init__(self, limit: int,
+                 num_interfaces: Optional[int] = None) -> None:
         if limit <= 0:
             raise ValueError("rate limit must be positive")
         self.limit = limit
+        self._generation = 0
+        if num_interfaces is not None:
+            self._stamp: Optional[array] = array("q", [0]) * num_interfaces
+            self._count: Optional[array] = array("q", [0]) * num_interfaces
+        else:
+            self._stamp = None
+            self._count = None
         self._bins: Dict[int, Tuple[int, int]] = {}
         self.dropped = 0
         self._overprobed: set = set()
 
     def allow(self, iface: int, now: float) -> bool:
         """Account one ICMP generation request at virtual time ``now``."""
-        second = int(now)
+        token = ((self._generation + 1) << _GENERATION_SHIFT) + int(now)
+        stamp = self._stamp
+        if stamp is not None and 0 <= iface < len(stamp):
+            if stamp[iface] != token:
+                stamp[iface] = token
+                self._count[iface] = 1
+                return True
+            count = self._count[iface] + 1
+            self._count[iface] = count
+            if count > self.limit:
+                self.dropped += 1
+                self._overprobed.add(iface)
+                return False
+            return True
+        # Dict fallback: unsized limiter, or interface beyond the hint.
         current = self._bins.get(iface)
-        if current is None or current[0] != second:
-            self._bins[iface] = (second, 1)
+        if current is None or current[0] != token:
+            self._bins[iface] = (token, 1)
             return True
         count = current[1] + 1
-        self._bins[iface] = (second, count)
+        self._bins[iface] = (token, count)
         if count > self.limit:
             self.dropped += 1
             self._overprobed.add(iface)
@@ -49,7 +85,13 @@ class IcmpRateLimiter:
         return frozenset(self._overprobed)
 
     def reset(self) -> None:
-        """Clear all dynamic state (between scans)."""
+        """Clear all dynamic state (between scans).
+
+        O(1) for the array bins: bumping the generation changes every
+        future stamp token, so stale bins — including a partially filled
+        bin mid-second — can never be mistaken for the current one.
+        """
+        self._generation += 1
         self._bins.clear()
         self.dropped = 0
         self._overprobed.clear()

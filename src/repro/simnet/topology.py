@@ -355,11 +355,23 @@ class Topology:
         record = self.prefixes[offset]
         stub = self.stubs[record.stub_id]
         shift = 1 if (record.flap and (epoch & 1)) else 0
+        octet = dst & 0xFF
+        dest_depth, assigned = self._destination_depth(record, stub, octet, shift)
+        return self._resolved_hop(record, stub, octet, shift, dest_depth,
+                                  assigned, ttl, flow)
+
+    def _resolved_hop(self, record: PrefixInfo, stub: Stub, octet: int,
+                      shift: int, dest_depth: int, assigned: bool,
+                      ttl: int, flow: int) -> HopResult:
+        """The per-TTL tail of :meth:`hop_at`, after the per-destination
+        state (record, stub, flap shift, destination depth) is resolved.
+
+        :class:`~repro.simnet.routecache.RouteCache` calls this once per TTL
+        when materializing a flat route entry, so the cached and uncached
+        paths share a single implementation by construction.
+        """
         transit_len = len(stub.transit)
         gateway_depth = stub.gateway_depth + shift
-        octet = dst & 0xFF
-
-        dest_depth, assigned = self._destination_depth(record, stub, octet, shift)
 
         if ttl <= transit_len:
             iface = self.resolve_token(stub.transit[ttl - 1], flow)

@@ -102,6 +102,21 @@ class FlashRoute6:
                 queue.push(response)  # type: ignore[arg-type]
             clock.advance(send_gap)
 
+        def send_batch(items) -> None:
+            # The back-to-back probes of one ring-walk step, emitted through
+            # the batch entry point (same pacing and encodings as scalar).
+            probes = []
+            for dst, ttl in items:
+                marking = encode_probe6(dst, ttl, clock.now,
+                                        is_preprobe=False,
+                                        scan_offset=config.scan_offset)
+                probes.append((dst, ttl, clock.now, marking.src_port,
+                               marking.payload))
+                result.ttl_probe_histogram[ttl] += 1
+                clock.advance(send_gap)
+            result.probes_sent += len(probes)
+            queue.push_many(network.send_probes(probes))
+
         measured: Dict[int, int] = {}
 
         def process(response: Response6) -> None:
@@ -174,17 +189,18 @@ class FlashRoute6:
                 block = store.get(key)
                 if block.removed:
                     continue
-                sent = False
+                pair = []
                 if block.next_backward >= 1:
-                    send(block.destination, block.next_backward, False)
+                    pair.append((block.destination, block.next_backward))
                     block.next_backward -= 1
-                    sent = True
                 if not block.dest_reached:
                     limit = min(block.forward_horizon, config.max_ttl)
                     if block.next_forward <= limit:
-                        send(block.destination, block.next_forward, False)
+                        pair.append((block.destination, block.next_forward))
                         block.next_forward += 1
-                        sent = True
+                if pair:
+                    send_batch(pair)
+                sent = bool(pair)
                 if not sent and block.next_backward == 0 and (
                         block.dest_reached
                         or block.next_forward > min(block.forward_horizon,

@@ -263,9 +263,22 @@ class SimulatedNetwork6:
         cfg = topology.config
         self.latency = LatencyModel(cfg.hop_latency, cfg.latency_jitter)
         self.rate_limiter = IcmpRateLimiter(
-            rate_limit if rate_limit is not None else cfg.icmp_rate_limit)
+            rate_limit if rate_limit is not None else cfg.icmp_rate_limit,
+            num_interfaces=len(topology.iface_addrs))
         self.probes_sent = 0
         self.responses_generated = 0
+
+    def send_probes(self, probes: List[Tuple[int, int, float, int, bytes]],
+                    flow: Optional[int] = None) -> List[Optional["Response6"]]:
+        """Batched counterpart of :meth:`send_probe`: one response slot per
+        ``(dst, hop_limit, send_time, src_port, payload)`` tuple.  The v6
+        oracle resolves routes from a flat per-site structure already, so
+        batching here amortizes only the call overhead — semantics are
+        identical to scalar sends."""
+        send_one = self.send_probe
+        return [send_one(dst, hop_limit, send_time, src_port,
+                         payload=payload, flow=flow)
+                for dst, hop_limit, send_time, src_port, payload in probes]
 
     def send_probe(self, dst: int, hop_limit: int, send_time: float,
                    src_port: int, payload: bytes = b"",
