@@ -126,6 +126,13 @@ class Scamper:
         if response is not None:
             result.responses += 1
             result.response_kinds[response.kind.value] += 1
+            dup = response.dup
+            if dup is not None:
+                # Synchronous receive loop: account the injected duplicate
+                # here (there is no response queue to unroll it).
+                result.responses += 1
+                result.duplicate_responses += 1
+                result.response_kinds[dup.kind.value] += 1
         return response
 
     def _trace_one(self, network: SimulatedNetwork, dst: int, prefix: int,
@@ -179,3 +186,22 @@ class Scamper:
                         if distance is not None:
                             result.record_destination(prefix, distance)
             ttl -= 1
+
+
+# --------------------------------------------------------------------- #
+# Scanner registry entries (see repro.core.scanner)
+# --------------------------------------------------------------------- #
+
+from ..core.scanner import ScannerOptions, register_scanner  # noqa: E402
+
+
+@register_scanner("scamper-16")
+def _build_scamper_16(options: ScannerOptions) -> Scamper:
+    overrides = {"probing_rate": options.probing_rate}
+    if options.seed is not None:
+        overrides["seed"] = options.seed
+    if options.gap_limit is not None:
+        overrides["gap_limit"] = options.gap_limit
+    if options.split_ttl is not None:
+        overrides["first_ttl"] = options.split_ttl
+    return Scamper(ScamperConfig.scamper_16(**overrides))

@@ -32,6 +32,9 @@ class TracerouteResult:
     #: Distance implied by the residual TTL of the unreachable response.
     residual_distance: Optional[int] = None
     probes: int = 0
+    responses: int = 0
+    #: Injected duplicate replies observed (counted inside ``responses``).
+    duplicates: int = 0
 
     def max_responding_ttl(self) -> Optional[int]:
         candidates: List[int] = list(self.hops)
@@ -78,6 +81,12 @@ class ClassicTraceroute:
             self.clock.advance(self.inter_probe_gap)
             if response is None:
                 continue
+            result.responses += 1
+            if response.dup is not None:
+                # Synchronous receive: the injected duplicate arrives while
+                # waiting and is observed (and discarded) right here.
+                result.responses += 1
+                result.duplicates += 1
             if response.kind is ResponseKind.TTL_EXCEEDED:
                 result.hops[ttl] = response.responder
             elif response.kind.is_unreachable:
@@ -93,3 +102,62 @@ class ClassicTraceroute:
     def triggering_ttl(self, dst: int) -> Optional[int]:
         """Just the first TTL that triggers port-unreachable (Fig. 3)."""
         return self.trace(dst).triggering_ttl
+
+
+class TracerouteScanner:
+    """Classic traceroute dressed as a :class:`~repro.core.scanner.Scanner`.
+
+    Traces every target sequentially on one continuous clock and folds the
+    per-destination :class:`TracerouteResult`s into one
+    :class:`~repro.core.results.ScanResult`, so the reference tool can sit
+    in the same experiment tables as the massive scanners.  Orders of
+    magnitude slower in virtual time, exactly as in reality.
+    """
+
+    def __init__(self, max_ttl: int = 32, inter_probe_gap: float = 0.02,
+                 seed: int = 1) -> None:
+        self.max_ttl = max_ttl
+        self.inter_probe_gap = inter_probe_gap
+        self.seed = seed
+
+    def scan(self, network: SimulatedNetwork,
+             targets: Optional[Dict[int, int]] = None,
+             tool_name: str = "Traceroute") -> "core.ScanResult":
+        if targets is None:
+            targets = core.random_targets(network.topology, self.seed)
+        result = core.ScanResult(tool=tool_name, num_targets=len(targets))
+        result.targets = dict(targets)
+        tracer = ClassicTraceroute(network, max_ttl=self.max_ttl,
+                                   inter_probe_gap=self.inter_probe_gap)
+        for prefix in sorted(targets):
+            trace = tracer.trace(targets[prefix])
+            result.probes_sent += trace.probes
+            result.responses += trace.responses
+            result.duplicate_responses += trace.duplicates
+            for ttl in range(1, trace.probes + 1):
+                result.ttl_probe_histogram[ttl] += 1
+            for ttl, responder in trace.hops.items():
+                result.add_hop(prefix, ttl, responder)
+            if trace.residual_distance is not None:
+                result.record_destination(prefix, trace.residual_distance)
+        result.duration = tracer.clock.now
+        return result
+
+
+# --------------------------------------------------------------------- #
+# Scanner registry entry (see repro.core.scanner)
+# --------------------------------------------------------------------- #
+
+from ..core.scanner import ScannerOptions, register_scanner  # noqa: E402
+
+
+@register_scanner("traceroute")
+def _build_traceroute(options: ScannerOptions) -> TracerouteScanner:
+    overrides = {}
+    if options.probing_rate is not None:
+        # Classic traceroute has no global rate; the closest analogue is
+        # the pacing gap between sequential probes.
+        overrides["inter_probe_gap"] = 1.0 / options.probing_rate
+    if options.seed is not None:
+        overrides["seed"] = options.seed
+    return TracerouteScanner(**overrides)

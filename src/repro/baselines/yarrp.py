@@ -212,6 +212,8 @@ class _YarrpRun:
         if not 0 <= offset < self.num_prefixes:
             return
         self.result.responses += 1
+        if response.is_duplicate:
+            self.result.duplicate_responses += 1
         self.result.response_kinds[response.kind.value] += 1
         if self.proto == PROTO_UDP:
             self.result.add_rtt(rtt_ms(decoded, response.arrival_time))
@@ -307,3 +309,23 @@ class _YarrpRun:
         self.result.duration = self.clock.now
         self.result.skipped_probes = self.skipped_by_protection
         return self.result
+
+
+# --------------------------------------------------------------------- #
+# Scanner registry entries (see repro.core.scanner)
+# --------------------------------------------------------------------- #
+
+from ..core.scanner import ScannerOptions, register_scanner  # noqa: E402
+
+
+def _yarrp_factory(variant):
+    def build(options: ScannerOptions) -> Yarrp:
+        overrides = {"probing_rate": options.probing_rate}
+        if options.seed is not None:
+            overrides["seed"] = options.seed
+        return Yarrp(variant(**overrides))
+    return build
+
+
+register_scanner("yarrp-16", _yarrp_factory(YarrpConfig.yarrp_16))
+register_scanner("yarrp-32", _yarrp_factory(YarrpConfig.yarrp_32))

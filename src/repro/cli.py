@@ -15,11 +15,9 @@ import json
 import sys
 from typing import Callable, Dict, List, Optional
 
-from .baselines.scamper import Scamper, ScamperConfig
-from .baselines.yarrp import Yarrp, YarrpConfig
-from .core.config import FlashRouteConfig, PreprobeMode
-from .core.prober import FlashRoute
+from .core.config import PreprobeMode
 from .core.results import ScanResult
+from .core.scanner import ScannerOptions, create_scanner, scanner_names
 from .experiments import (
     ExperimentContext,
     run_discovery_experiment,
@@ -28,6 +26,7 @@ from .experiments import (
     run_fig6,
     run_fig7,
     run_fig8,
+    run_loss_sweep,
     run_neighborhood_protection,
     run_proximity_span_ablation,
     run_rewrite_detection,
@@ -41,6 +40,7 @@ from .experiments import (
     run_table5,
 )
 from .simnet.config import TopologyConfig
+from .simnet.faults import FaultModel
 from .simnet.network import SimulatedNetwork
 from .simnet.topology import Topology
 
@@ -61,11 +61,57 @@ _EXPERIMENTS: Dict[str, Callable[[ExperimentContext], object]] = {
     "ablation-span": run_proximity_span_ablation,
     "ablation-pacing": run_round_pacing_ablation,
     "holes": run_route_holes,
+    "loss-sweep": run_loss_sweep,
     "future-granularity": run_granularity_future_work,
 }
 
-_TOOLS = ("flashroute-16", "flashroute-32", "yarrp-16", "yarrp-32",
-          "scamper-16", "yarrp-32-udp-sim")
+
+# --------------------------------------------------------------------- #
+# Argument validators: reject impossible values at the parser, with a
+# readable message, instead of crashing deep in topology generation.
+# --------------------------------------------------------------------- #
+
+def _positive_int(text: str) -> int:
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"{text!r} is not an integer")
+    if value <= 0:
+        raise argparse.ArgumentTypeError(
+            f"must be a positive integer, got {value}")
+    return value
+
+
+def _positive_float(text: str) -> float:
+    try:
+        value = float(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"{text!r} is not a number")
+    if value <= 0:
+        raise argparse.ArgumentTypeError(f"must be positive, got {value}")
+    return value
+
+
+def _gap_limit(text: str) -> int:
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"{text!r} is not an integer")
+    if value < 1:
+        raise argparse.ArgumentTypeError(
+            f"gap limit must be at least 1, got {value}")
+    return value
+
+
+def _probability(text: str) -> float:
+    try:
+        value = float(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"{text!r} is not a number")
+    if not 0.0 <= value < 1.0:
+        raise argparse.ArgumentTypeError(
+            f"must be a probability in [0, 1), got {value}")
+    return value
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -76,18 +122,28 @@ def _build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
 
     scan = sub.add_parser("scan", help="run one scan")
-    scan.add_argument("--tool", choices=_TOOLS, default="flashroute-16")
-    scan.add_argument("--prefixes", type=int, default=1024,
+    scan.add_argument("--tool", choices=scanner_names(),
+                      default="flashroute-16")
+    scan.add_argument("--prefixes", type=_positive_int, default=1024,
                       help="number of /24 prefixes in the simulated space")
     scan.add_argument("--seed", type=int, default=20201027,
                       help="topology seed")
     scan.add_argument("--split-ttl", type=int, default=None)
-    scan.add_argument("--gap-limit", type=int, default=None)
+    scan.add_argument("--gap-limit", type=_gap_limit, default=None)
     scan.add_argument("--preprobe",
                       choices=[mode.value for mode in PreprobeMode],
                       default=None)
-    scan.add_argument("--rate", type=float, default=None,
+    scan.add_argument("--rate", type=_positive_float, default=None,
                       help="probes per second (default: scaled 100 Kpps)")
+    scan.add_argument("--loss", type=_probability, default=0.0,
+                      help="independent per-probe and per-response loss "
+                           "probability (default 0: no injected faults)")
+    scan.add_argument("--blackout", type=_probability, default=0.0,
+                      help="fraction of responders suffering periodic "
+                           "transient blackouts")
+    scan.add_argument("--fault-seed", type=int, default=0,
+                      help="seed of the injected fault sequence (same seed "
+                           "+ same scan = identical faults)")
     scan.add_argument("--json", action="store_true",
                       help="print the result as JSON")
     scan.add_argument("--output", metavar="FILE", default=None,
@@ -103,7 +159,7 @@ def _build_parser() -> argparse.ArgumentParser:
     experiment = sub.add_parser("experiment",
                                 help="regenerate a paper table/figure")
     experiment.add_argument("id", choices=sorted(_EXPERIMENTS))
-    experiment.add_argument("--prefixes", type=int, default=None,
+    experiment.add_argument("--prefixes", type=_positive_int, default=None,
                             help="override REPRO_BENCH_PREFIXES")
 
     sub.add_parser("list", help="list available experiments")
@@ -111,35 +167,18 @@ def _build_parser() -> argparse.ArgumentParser:
 
 
 def _build_scanner(args: argparse.Namespace):
-    if args.tool.startswith("flashroute"):
-        split = 16 if args.tool.endswith("16") else 32
-        config = FlashRouteConfig(
-            split_ttl=args.split_ttl if args.split_ttl is not None else split,
-            gap_limit=args.gap_limit if args.gap_limit is not None else 5,
-            preprobe=(PreprobeMode(args.preprobe)
-                      if args.preprobe is not None else PreprobeMode.HITLIST),
-            probing_rate=args.rate)
-        return FlashRoute(config)
-    if args.tool == "yarrp-32-udp-sim":
-        return FlashRoute(FlashRouteConfig.yarrp32_udp_simulation(
-            probing_rate=args.rate))
-    if args.tool == "yarrp-16":
-        return Yarrp(YarrpConfig.yarrp_16(probing_rate=args.rate))
-    if args.tool == "yarrp-32":
-        return Yarrp(YarrpConfig.yarrp_32(probing_rate=args.rate))
-    if args.tool == "scamper-16":
-        return Scamper(ScamperConfig.scamper_16(probing_rate=args.rate))
-    raise ValueError(f"unknown tool {args.tool!r}")
+    """Resolve ``--tool`` through the scanner registry (repro.core.scanner);
+    tool-specific construction lives with each tool's registration."""
+    return create_scanner(args.tool, ScannerOptions(
+        probing_rate=args.rate, split_ttl=args.split_ttl,
+        gap_limit=args.gap_limit, preprobe=args.preprobe))
 
 
 def _scan_to_json(result: ScanResult) -> str:
     payload = result.as_row()
     payload.update({
-        "responses": result.responses,
         "mismatched_quotes": result.mismatched_quotes,
         "rounds": result.rounds,
-        "mean_rtt_ms": result.mean_rtt_ms(),
-        "probes_per_target": result.probes_per_target(),
     })
     return json.dumps(payload, indent=2, sort_keys=True)
 
@@ -159,8 +198,12 @@ def _save_output(result: ScanResult, path: str) -> None:
 def _run_scan(args: argparse.Namespace) -> int:
     topology = Topology(TopologyConfig(num_prefixes=args.prefixes,
                                        seed=args.seed))
+    faults = FaultModel(probe_loss=args.loss, response_loss=args.loss,
+                        blackout_fraction=args.blackout,
+                        seed=args.fault_seed)
     network = SimulatedNetwork(topology,
-                               use_route_cache=not args.no_route_cache)
+                               use_route_cache=not args.no_route_cache,
+                               faults=faults)
     pcap_handle = None
     if args.pcap is not None:
         from .simnet.capture import CapturingNetwork
@@ -182,6 +225,9 @@ def _run_scan(args: argparse.Namespace) -> int:
         print(f"  responses={result.responses:,} "
               f"mismatched={result.mismatched_quotes:,} "
               f"probes/target={result.probes_per_target():.1f}")
+        if args.loss or args.blackout:
+            print(f"  holes={result.route_holes():,} "
+                  f"duplicates={result.duplicate_responses:,}")
         if args.pcap is not None:
             print(f"  pcap: {args.pcap}")
         if args.output is not None:

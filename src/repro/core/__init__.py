@@ -35,6 +35,14 @@ from .permutation import FeistelPermutation, MultiplicativeCycle, PermutationErr
 from .preprobe import PreprobeOutcome, clamp_distance, predict_distances
 from .prober import FlashRoute
 from .results import ScanResult, format_scan_time, union_interfaces
+from .scanner import (
+    Scanner,
+    ScannerOptions,
+    create_scanner,
+    register_scanner,
+    scanner_names,
+    unregister_scanner,
+)
 from .targets import hitlist_targets, random_targets, targets_from_file
 
 __all__ = [
@@ -76,6 +84,12 @@ __all__ = [
     "ScanResult",
     "format_scan_time",
     "union_interfaces",
+    "Scanner",
+    "ScannerOptions",
+    "create_scanner",
+    "register_scanner",
+    "scanner_names",
+    "unregister_scanner",
     "hitlist_targets",
     "random_targets",
     "targets_from_file",

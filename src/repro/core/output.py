@@ -34,6 +34,7 @@ def result_to_dict(result: ScanResult) -> Dict[str, object]:
         "probes_sent": result.probes_sent,
         "preprobe_probes": result.preprobe_probes,
         "responses": result.responses,
+        "duplicate_responses": result.duplicate_responses,
         "mismatched_quotes": result.mismatched_quotes,
         "skipped_probes": result.skipped_probes,
         "duration": result.duration,
@@ -66,6 +67,7 @@ def result_from_dict(payload: Dict[str, object]) -> ScanResult:
     result.probes_sent = int(payload["probes_sent"])
     result.preprobe_probes = int(payload["preprobe_probes"])
     result.responses = int(payload["responses"])
+    result.duplicate_responses = int(payload.get("duplicate_responses", 0))
     result.mismatched_quotes = int(payload["mismatched_quotes"])
     result.skipped_probes = int(payload.get("skipped_probes", 0))
     result.duration = float(payload["duration"])

@@ -243,6 +243,8 @@ class _ScanRun:
         if not 0 <= offset < self.num_prefixes:
             return
         self.result.responses += 1
+        if response.is_duplicate:
+            self.result.duplicate_responses += 1
         self.result.response_kinds[response.kind.value] += 1
         self.result.add_rtt(rtt_ms(decoded, response.arrival_time))
 
@@ -389,3 +391,40 @@ class _ScanRun:
         finally:
             if was_cached:
                 set_cache(True)
+
+
+# --------------------------------------------------------------------- #
+# Scanner registry entries (see repro.core.scanner)
+# --------------------------------------------------------------------- #
+
+from .scanner import ScannerOptions, register_scanner  # noqa: E402
+
+
+def _flashroute_factory(default_split: int):
+    def build(options: ScannerOptions) -> FlashRoute:
+        overrides = {
+            "split_ttl": (options.split_ttl if options.split_ttl is not None
+                          else default_split),
+            "gap_limit": (options.gap_limit if options.gap_limit is not None
+                          else 5),
+            "preprobe": (PreprobeMode(options.preprobe)
+                         if options.preprobe is not None
+                         else PreprobeMode.HITLIST),
+            "probing_rate": options.probing_rate,
+        }
+        if options.seed is not None:
+            overrides["seed"] = options.seed
+        return FlashRoute(FlashRouteConfig(**overrides))
+    return build
+
+
+register_scanner("flashroute-16", _flashroute_factory(16))
+register_scanner("flashroute-32", _flashroute_factory(32))
+
+
+@register_scanner("yarrp-32-udp-sim")
+def _build_yarrp32_udp_sim(options: ScannerOptions) -> FlashRoute:
+    overrides = {"probing_rate": options.probing_rate}
+    if options.seed is not None:
+        overrides["seed"] = options.seed
+    return FlashRoute(FlashRouteConfig.yarrp32_udp_simulation(**overrides))

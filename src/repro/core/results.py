@@ -52,6 +52,9 @@ class ScanResult:
     probes_sent: int = 0
     preprobe_probes: int = 0
     responses: int = 0
+    #: Responses that were injected duplicates of an earlier reply
+    #: (:mod:`repro.simnet.faults`); counted inside ``responses`` too.
+    duplicate_responses: int = 0
     mismatched_quotes: int = 0
     #: Probes withheld by optimizations (Yarrp's neighborhood protection).
     skipped_probes: int = 0
@@ -126,6 +129,27 @@ class ScanResult:
             return None
         return self.rtt_sum_ms / self.rtt_count
 
+    def route_holes(self) -> int:
+        """Unanswered TTLs *inside* discovered routes.
+
+        For each prefix, counts the TTLs strictly between the shallowest
+        recorded hop and the route's end (the destination's distance when
+        measured, else the deepest recorded hop) that have no responder.
+        Loss and blackouts turn previously answered hops silent, so this
+        is the per-scan observable of loss-induced route damage; a
+        loss-free scan of a fully responsive path reports 0.
+        """
+        holes = 0
+        for prefix, hops in self.routes.items():
+            if not hops:
+                continue
+            first = min(hops)
+            distance = self.dest_distance.get(prefix)
+            last = max(hops) if distance is None else distance
+            holes += sum(1 for ttl in range(first + 1, last)
+                         if ttl not in hops)
+        return holes
+
     def probes_per_target(self) -> float:
         if self.num_targets == 0:
             return 0.0
@@ -138,11 +162,22 @@ class ScanResult:
                 f"time={format_scan_time(self.duration)}")
 
     def as_row(self) -> Dict[str, object]:
-        """Structured row used by the experiment drivers."""
+        """Structured row used by the experiment drivers.
+
+        The original keys (``tool``, ``interfaces``, ``probes``,
+        ``scan_time``, ``scan_time_text``) are stable; the derived and
+        fault-accounting columns were added so drivers stop recomputing
+        them ad hoc.
+        """
         return {
             "tool": self.tool,
             "interfaces": self.interface_count(),
             "probes": self.probes_sent,
+            "probes_per_target": self.probes_per_target(),
+            "responses": self.responses,
+            "mean_rtt_ms": self.mean_rtt_ms(),
+            "holes": self.route_holes(),
+            "duplicate_responses": self.duplicate_responses,
             "scan_time": self.duration,
             "scan_time_text": format_scan_time(self.duration),
         }

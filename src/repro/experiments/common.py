@@ -14,8 +14,10 @@ from dataclasses import dataclass, field
 from functools import lru_cache
 from typing import Dict, Optional
 
+from ..core.scanner import Scanner, ScannerOptions, create_scanner
 from ..core.targets import hitlist_targets, random_targets
 from ..simnet.config import TopologyConfig
+from ..simnet.faults import FaultModel
 from ..simnet.network import SimulatedNetwork
 from ..simnet.topology import Topology
 
@@ -74,10 +76,16 @@ class ExperimentContext:
             self.hitlist = hitlist_targets(self.topology)
 
     def network(self, log_probes: bool = False,
-                rate_limit: Optional[int] = None) -> SimulatedNetwork:
+                rate_limit: Optional[int] = None,
+                faults: Optional[FaultModel] = None) -> SimulatedNetwork:
         """A fresh per-scan network (clean rate-limit bins and counters)."""
         return SimulatedNetwork(self.topology, log_probes=log_probes,
-                                rate_limit=rate_limit)
+                                rate_limit=rate_limit, faults=faults)
+
+    def tool_scanner(self, name: str,
+                     options: Optional[ScannerOptions] = None) -> Scanner:
+        """A fresh scanner by registry name (see ``repro.core.scanner``)."""
+        return create_scanner(name, options)
 
     @classmethod
     def for_bench(cls, num_prefixes: Optional[int] = None) -> "ExperimentContext":

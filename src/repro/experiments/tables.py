@@ -97,35 +97,32 @@ def run_table2(context: ExperimentContext) -> TableResult:
 
 def run_table3(context: ExperimentContext,
                include_scamper: bool = True) -> TableResult:
-    """FlashRoute-16/32, Yarrp-16/32, Scamper-16, Yarrp-32-UDP simulation."""
+    """FlashRoute-16/32, Yarrp-16/32, Scamper-16, Yarrp-32-UDP simulation.
+
+    Tools are resolved through the scanner registry
+    (:mod:`repro.core.scanner`) with default options — the exact
+    configurations their registrations encode, which are the paper's
+    Table 3 configurations.
+    """
     result = TableResult(
         table_id="Table 3: full /24 traceroute scan comparison",
         headers=["Tool", "Interfaces", "Probes", "Scan Time"])
 
-    def add(label: str, scan: ScanResult) -> None:
+    def add(label: str, tool: str) -> None:
+        scan = context.tool_scanner(tool).scan(
+            context.network(), targets=context.random_targets,
+            tool_name=label)
         result.scans[label] = scan
         result.rows.append([label, scan.interface_count(), scan.probes_sent,
                             format_scan_time(scan.duration)])
 
-    add("FlashRoute-16", FlashRoute(FlashRouteConfig.flashroute_16()).scan(
-        context.network(), targets=context.random_targets,
-        tool_name="FlashRoute-16"))
-    add("FlashRoute-32", FlashRoute(FlashRouteConfig.flashroute_32()).scan(
-        context.network(), targets=context.random_targets,
-        tool_name="FlashRoute-32"))
-    add("Yarrp-16", Yarrp(YarrpConfig.yarrp_16()).scan(
-        context.network(), targets=context.random_targets,
-        tool_name="Yarrp-16"))
-    add("Yarrp-32", Yarrp(YarrpConfig.yarrp_32()).scan(
-        context.network(), targets=context.random_targets,
-        tool_name="Yarrp-32"))
+    add("FlashRoute-16", "flashroute-16")
+    add("FlashRoute-32", "flashroute-32")
+    add("Yarrp-16", "yarrp-16")
+    add("Yarrp-32", "yarrp-32")
     if include_scamper:
-        add("Scamper-16", Scamper(ScamperConfig.scamper_16()).scan(
-            context.network(), targets=context.random_targets))
-    add("Yarrp-32-UDP (Simulation)",
-        FlashRoute(FlashRouteConfig.yarrp32_udp_simulation()).scan(
-            context.network(), targets=context.random_targets,
-            tool_name="Yarrp-32-UDP (Simulation)"))
+        add("Scamper-16", "scamper-16")
+    add("Yarrp-32-UDP (Simulation)", "yarrp-32-udp-sim")
     return result
 
 

@@ -78,16 +78,31 @@ class IcmpResponse:
         quoted_residual_ttl: the TTL the probe had *when it arrived* at the
             responder, as preserved in the quotation.  This is what the
             single-probe hop-distance measurement (paper §3.3.1) reads.
+
+    Two extra slots carry fault-injection state
+    (:mod:`repro.simnet.faults`); both default to the no-fault values:
+
+    * ``is_duplicate`` — this response is an injected duplicate of
+      another (engines count these in ``ScanResult.duplicate_responses``);
+    * ``dup`` — the duplicate chained onto this response, delivered by
+      :class:`~repro.simnet.engine.ResponseQueue` as its own arrival
+      (``None`` when no duplicate was injected).
     """
 
     __slots__ = ("kind", "responder", "quoted", "arrival_time",
-                 "quoted_residual_ttl")
+                 "quoted_residual_ttl", "is_duplicate", "dup")
 
     kind: ResponseKind
     responder: int
     quoted: ProbeHeader
     arrival_time: float
     quoted_residual_ttl: int
+
+    def __post_init__(self) -> None:
+        # Not dataclass fields: defaulted fields would create class
+        # attributes that collide with the manual __slots__.
+        self.is_duplicate = False
+        self.dup: Optional[IcmpResponse] = None
 
     @property
     def probe_dst(self) -> int:

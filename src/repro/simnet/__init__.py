@@ -10,6 +10,7 @@ from .capture import CapturingNetwork, response_wire_bytes
 from .config import SCENARIOS, TopologyConfig, scaled_probing_rate, weighted_choice
 from .engine import ProbeLog, ResponseQueue, VirtualClock
 from .entities import HopKind, HopResult, PrefixInfo, Stub, lb_group_id, lb_offset, lb_token
+from .faults import FaultInjector, FaultModel
 from .hitlist import hitlist_addresses, synthesize_hitlist
 from .latency import LatencyModel, jitter_fraction
 from .network import SimulatedNetwork
@@ -33,6 +34,8 @@ __all__ = [
     "lb_group_id",
     "lb_offset",
     "lb_token",
+    "FaultInjector",
+    "FaultModel",
     "hitlist_addresses",
     "synthesize_hitlist",
     "LatencyModel",

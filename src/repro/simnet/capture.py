@@ -69,6 +69,10 @@ class CapturingNetwork:
         if response is not None:
             self._writer.write(response.arrival_time,
                                response_wire_bytes(response, vantage))
+            if response.dup is not None:
+                # Injected duplicate replies are real wire traffic too.
+                self._writer.write(response.dup.arrival_time,
+                                   response_wire_bytes(response.dup, vantage))
         return response
 
     def send_probes(self, probes, dst_port: int = 33434,

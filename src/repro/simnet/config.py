@@ -16,6 +16,7 @@ from dataclasses import dataclass, field
 from typing import Dict, Tuple
 
 from ..net.addr import ip_to_int
+from .faults import FaultModel
 
 
 @dataclass
@@ -220,6 +221,13 @@ class TopologyConfig:
     #: stable within one scan — churn acts mainly *between* measurement
     #: passes, as in the paper's Fig. 3 comparison.
     flap_epoch_seconds: float = 1800.0
+
+    #: Injected faults (probe/response loss, reordering, duplicates,
+    #: blackouts); the default model injects nothing.  Seeded independently
+    #: of the topology seed so one topology can be scanned under many fault
+    #: draws.  A :class:`~repro.simnet.network.SimulatedNetwork` can also
+    #: override this per-instance via its ``faults=`` argument.
+    faults: FaultModel = field(default_factory=FaultModel)
 
     def __post_init__(self) -> None:
         if self.num_prefixes <= 0:

@@ -52,11 +52,19 @@ class ResponseQueue:
     def push(self, response: IcmpResponse) -> None:
         self._seq += 1
         heapq.heappush(self._heap, (response.arrival_time, self._seq, response))
+        # An injected duplicate (repro.simnet.faults) rides chained on its
+        # original; deliver it as an independent arrival.  getattr: the v6
+        # layer pushes its own response type, which carries no fault slots.
+        dup = getattr(response, "dup", None)
+        if dup is not None:
+            self._seq += 1
+            heapq.heappush(self._heap, (dup.arrival_time, self._seq, dup))
 
     def push_many(self, responses: Iterable[Optional[IcmpResponse]]) -> None:
         """Push a batch, skipping ``None`` slots — accepts the result of
         ``SimulatedNetwork.send_probes`` directly.  Arrival-time ties keep
-        send order, same as pushing one by one."""
+        send order, same as pushing one by one.  Chained duplicate
+        responses are unrolled into their own heap entries."""
         heap = self._heap
         seq = self._seq
         push = heapq.heappush
@@ -64,6 +72,10 @@ class ResponseQueue:
             if response is not None:
                 seq += 1
                 push(heap, (response.arrival_time, seq, response))
+                dup = getattr(response, "dup", None)
+                if dup is not None:
+                    seq += 1
+                    push(heap, (dup.arrival_time, seq, dup))
         self._seq = seq
 
     def pop_until(self, timestamp: float) -> Iterator[IcmpResponse]:

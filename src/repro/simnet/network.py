@@ -19,6 +19,15 @@ back-to-back probes of one ring-walk step.  Construct with
 ``use_route_cache=False`` (or flip :meth:`set_route_cache_enabled`) to run
 the original resolution path — both paths are behavior-identical and the
 equivalence tests assert it probe-for-probe.
+
+Fault injection (:mod:`repro.simnet.faults`) composes with every serving
+mode: when a :class:`~repro.simnet.faults.FaultModel` is enabled, resolved
+responses pass through :meth:`FaultInjector.filter` at the exact point they
+would be returned, on the cached, batched and uncached paths alike.  Fault
+decisions are stateless per-probe hashes, so the same fault seed yields the
+same fault sequence in every mode and the cached-vs-uncached equivalence
+guarantee extends to faulted scans.  A disabled (default) model costs the
+hot path nothing beyond one attribute test.
 """
 
 from __future__ import annotations
@@ -29,6 +38,7 @@ from ..net.icmp import IcmpResponse, ResponseKind
 from ..net.packets import PROTO_TCP, PROTO_UDP, ProbeHeader, UDP_HEADER_LEN
 from .engine import ProbeLog
 from .entities import HopKind
+from .faults import FaultInjector, FaultModel
 from .latency import LatencyModel
 from .ratelimit import _GENERATION_SHIFT, IcmpRateLimiter
 from .routecache import ROUTE_CACHE_TTLS, RouteCache, host_answers_tcp
@@ -49,13 +59,19 @@ class SimulatedNetwork:
     __slots__ = ("topology", "latency", "rate_limiter", "route_cache",
                  "probe_log", "probes_sent", "responses_generated",
                  "rewritten_responses", "_flap_epoch_seconds", "_vantage",
-                 "_stamp_len", "_lk")
+                 "_stamp_len", "_lk", "faults")
 
     def __init__(self, topology: Topology, log_probes: bool = False,
                  rate_limit: Optional[int] = None,
-                 use_route_cache: bool = True) -> None:
+                 use_route_cache: bool = True,
+                 faults: Optional[FaultModel] = None) -> None:
         self.topology = topology
         cfg = topology.config
+        model = faults if faults is not None else cfg.faults
+        #: Fault-injection layer; ``None`` when the model injects nothing,
+        #: so the default hot path pays only one attribute test.
+        self.faults: Optional[FaultInjector] = (
+            FaultInjector(model) if model.enabled else None)
         self.latency = LatencyModel(cfg.hop_latency, cfg.latency_jitter)
         self.rate_limiter = IcmpRateLimiter(
             rate_limit if rate_limit is not None else cfg.icmp_rate_limit,
@@ -90,6 +106,8 @@ class SimulatedNetwork:
         self.rate_limiter.reset()
         if self.probe_log is not None:
             self.probe_log = ProbeLog()
+        if self.faults is not None:
+            self.faults.reset_counters()
         self.probes_sent = 0
         self.responses_generated = 0
         self.rewritten_responses = 0
@@ -216,6 +234,11 @@ class SimulatedNetwork:
         response.quoted = quoted
         response.arrival_time = send_time + rt_delay
         response.quoted_residual_ttl = residual
+        response.is_duplicate = False
+        response.dup = None
+        faults = self.faults
+        if faults is not None:
+            return faults.filter(dst, ttl, send_time, response)
         return response
 
     def send_probes(self, probes: Iterable[BatchProbe],
@@ -255,6 +278,7 @@ class SimulatedNetwork:
         gen_base = (limiter._generation + 1) << _GENERATION_SHIFT
         epoch_seconds = self._flap_epoch_seconds
         vantage = self._vantage
+        faults = self.faults
         sent = 0
         rewritten = 0
         generated = 0
@@ -328,6 +352,10 @@ class SimulatedNetwork:
             response.quoted = quoted
             response.arrival_time = send_time + rt_delay
             response.quoted_residual_ttl = residual
+            response.is_duplicate = False
+            response.dup = None
+            if faults is not None:
+                response = faults.filter(dst, ttl, send_time, response)
             append(response)
         self.probes_sent += sent
         self.rewritten_responses += rewritten
@@ -420,7 +448,8 @@ class SimulatedNetwork:
     def _respond(self, kind: ResponseKind, responder: int, dst: int,
                  ttl: int, residual: int, depth: int, send_time: float,
                  src_port: int, dst_port: int, ipid: int, udp_length: int,
-                 proto: int, maybe_rewrite: bool = False) -> IcmpResponse:
+                 proto: int,
+                 maybe_rewrite: bool = False) -> Optional[IcmpResponse]:
         quoted_dst = dst
         if maybe_rewrite:
             quoted_dst = self._rewritten_dst(dst)
@@ -431,6 +460,10 @@ class SimulatedNetwork:
                              udp_length=udp_length)
         self.responses_generated += 1
         arrival = send_time + self.latency.round_trip(depth, dst, ttl)
-        return IcmpResponse(kind=kind, responder=responder, quoted=quoted,
-                            arrival_time=arrival,
-                            quoted_residual_ttl=residual)
+        response = IcmpResponse(kind=kind, responder=responder, quoted=quoted,
+                                arrival_time=arrival,
+                                quoted_residual_ttl=residual)
+        faults = self.faults
+        if faults is not None:
+            return faults.filter(dst, ttl, send_time, response)
+        return response

@@ -53,6 +53,13 @@ safe to share across scans and never needs invalidation beyond the epoch
 key.  ``SimulatedNetwork(use_route_cache=False)`` (or the
 ``--no-route-cache`` CLI flag / ``FlashRouteConfig.route_cache``) bypasses
 it entirely for A/B experiments and debugging.
+
+Fault injection (:mod:`repro.simnet.faults`) never touches the cache:
+outcome tables stay fault-free, and ``SimulatedNetwork`` applies the
+fault filter *after* the lookup, to the response the table produced.
+Fault decisions are stateless hashes of probe identity, so cached and
+uncached serving modes see identical fault sequences for a given seed
+and the tables remain shareable across fault models.
 """
 
 from __future__ import annotations

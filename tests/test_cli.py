@@ -29,6 +29,14 @@ class TestScanCommand:
                      "--seed", "3"]) == 0
         assert "interfaces=" in capsys.readouterr().out
 
+    def test_every_registered_tool_scans(self, capsys):
+        """The --tool choices come from the registry; each one must run."""
+        from repro.core.scanner import scanner_names
+        for tool in scanner_names():
+            assert main(["scan", "--tool", tool, "--prefixes", "64",
+                         "--seed", "3"]) == 0
+            assert "interfaces=" in capsys.readouterr().out
+
     def test_overrides(self, capsys):
         assert main(["scan", "--prefixes", "128", "--seed", "3",
                      "--split-ttl", "8", "--gap-limit", "2",
@@ -39,6 +47,33 @@ class TestScanCommand:
     def test_rejects_unknown_tool(self):
         with pytest.raises(SystemExit):
             main(["scan", "--tool", "nmap"])
+
+    def test_loss_scan(self, capsys):
+        assert main(["scan", "--prefixes", "128", "--seed", "3",
+                     "--loss", "0.05", "--fault-seed", "7", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["probes"] > 0
+        assert "holes" in payload
+        assert "duplicate_responses" in payload
+
+
+class TestScanValidation:
+    @pytest.mark.parametrize("argv", [
+        ["scan", "--prefixes", "0"],
+        ["scan", "--prefixes", "-5"],
+        ["scan", "--rate", "-100"],
+        ["scan", "--rate", "0"],
+        ["scan", "--gap-limit", "0"],
+        ["scan", "--gap-limit", "-1"],
+        ["scan", "--loss", "1.5"],
+        ["scan", "--loss", "-0.1"],
+        ["scan", "--blackout", "2"],
+    ])
+    def test_rejects_invalid_numbers(self, capsys, argv):
+        with pytest.raises(SystemExit) as exc_info:
+            main(argv)
+        assert exc_info.value.code == 2  # argparse usage error
+        assert "error" in capsys.readouterr().err
 
 
 class TestExperimentCommand:
@@ -99,3 +134,11 @@ class TestScanOutputs:
         monkeypatch.setenv("REPRO_BENCH_SEED", "3")
         assert main(["experiment", "holes"]) == 0
         assert "route completeness" in capsys.readouterr().out
+
+    def test_loss_sweep_experiment(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_PREFIXES", "64")
+        monkeypatch.setenv("REPRO_BENCH_SEED", "3")
+        assert main(["experiment", "loss-sweep"]) == 0
+        out = capsys.readouterr().out
+        assert "Loss sweep" in out
+        assert "Gap limit" in out

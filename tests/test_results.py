@@ -85,8 +85,47 @@ class TestScanResult:
 
     def test_as_row_keys(self):
         row = ScanResult(tool="t").as_row()
+        # The first five are the original keys and must stay stable; the
+        # rest are the derived/fault columns added for experiment drivers.
         assert set(row) == {"tool", "interfaces", "probes", "scan_time",
-                            "scan_time_text"}
+                            "scan_time_text", "probes_per_target",
+                            "responses", "mean_rtt_ms", "holes",
+                            "duplicate_responses"}
+
+    def test_as_row_derived_values(self):
+        result = ScanResult(tool="t", num_targets=2)
+        result.probes_sent = 10
+        result.responses = 6
+        result.add_rtt(10.0)
+        result.add_rtt(20.0)
+        row = result.as_row()
+        assert row["probes_per_target"] == pytest.approx(5.0)
+        assert row["responses"] == 6
+        assert row["mean_rtt_ms"] == pytest.approx(15.0)
+        assert row["holes"] == 0
+        assert row["duplicate_responses"] == 0
+
+    def test_route_holes(self):
+        result = ScanResult(tool="t")
+        # Route with hops at 2, 5 and destination at 7: TTLs 3, 4 and 6
+        # are holes; nothing outside the observed span counts.
+        result.add_hop(1, 2, 100)
+        result.add_hop(1, 5, 101)
+        result.record_destination(1, 7)
+        assert result.route_holes() == 3
+
+    def test_route_holes_without_destination(self):
+        result = ScanResult(tool="t")
+        result.add_hop(1, 3, 100)
+        result.add_hop(1, 6, 101)
+        assert result.route_holes() == 2
+
+    def test_route_holes_contiguous_route(self):
+        result = ScanResult(tool="t")
+        for ttl in range(1, 6):
+            result.add_hop(1, ttl, 100 + ttl)
+        result.record_destination(1, 6)
+        assert result.route_holes() == 0
 
 
 class TestUnionInterfaces:
