@@ -77,8 +77,10 @@ class Scamper:
     10 Kpps the inter-probe gap dwarfs any RTT.
     """
 
-    def __init__(self, config: Optional[ScamperConfig] = None) -> None:
+    def __init__(self, config: Optional[ScamperConfig] = None,
+                 telemetry=None) -> None:
         self.config = config if config is not None else ScamperConfig()
+        self.telemetry = telemetry
 
     def scan(self, network: SimulatedNetwork,
              targets: Optional[Dict[int, int]] = None,
@@ -96,13 +98,36 @@ class Scamper:
         result.targets = dict(targets)
         stop_set: Set[int] = set()
 
+        telemetry = self.telemetry
+        tracer = (telemetry.tracer if telemetry is not None
+                  and telemetry.tracer.enabled else None)
+        progress = telemetry.progress if telemetry is not None else None
+        if tracer is not None:
+            tracer.begin("scan", tool_name, clock.now,
+                         targets=len(targets), rate_pps=rate)
+
         order = FeistelPermutation(len(targets), config.seed ^ 0x5CA9)
         prefixes = sorted(targets)
         for position in order:
             prefix = prefixes[position]
             self._trace_one(network, targets[prefix], prefix, clock,
                             send_gap, stop_set, result)
+            if progress is not None and progress.due(clock.now):
+                progress.report(clock.now, {
+                    "tool": tool_name,
+                    "probes": result.probes_sent,
+                    "pps": (result.probes_sent / clock.now
+                            if clock.now > 0 else 0.0),
+                    "interfaces": result.interface_count(),
+                })
         result.duration = clock.now
+        if tracer is not None:
+            tracer.end("scan", tool_name, clock.now,
+                       probes=result.probes_sent,
+                       responses=result.responses,
+                       interfaces=result.interface_count())
+        if telemetry is not None:
+            telemetry.record_result(result)
         return result
 
     # ------------------------------------------------------------------ #
@@ -204,4 +229,5 @@ def _build_scamper_16(options: ScannerOptions) -> Scamper:
         overrides["gap_limit"] = options.gap_limit
     if options.split_ttl is not None:
         overrides["first_ttl"] = options.split_ttl
-    return Scamper(ScamperConfig.scamper_16(**overrides))
+    return Scamper(ScamperConfig.scamper_16(**overrides),
+                   telemetry=options.telemetry)

@@ -115,10 +115,11 @@ class TracerouteScanner:
     """
 
     def __init__(self, max_ttl: int = 32, inter_probe_gap: float = 0.02,
-                 seed: int = 1) -> None:
+                 seed: int = 1, telemetry=None) -> None:
         self.max_ttl = max_ttl
         self.inter_probe_gap = inter_probe_gap
         self.seed = seed
+        self.telemetry = telemetry
 
     def scan(self, network: SimulatedNetwork,
              targets: Optional[Dict[int, int]] = None,
@@ -129,6 +130,13 @@ class TracerouteScanner:
         result.targets = dict(targets)
         tracer = ClassicTraceroute(network, max_ttl=self.max_ttl,
                                    inter_probe_gap=self.inter_probe_gap)
+        telemetry = self.telemetry
+        span_tracer = (telemetry.tracer if telemetry is not None
+                       and telemetry.tracer.enabled else None)
+        progress = telemetry.progress if telemetry is not None else None
+        if span_tracer is not None:
+            span_tracer.begin("scan", tool_name, tracer.clock.now,
+                              targets=len(targets))
         for prefix in sorted(targets):
             trace = tracer.trace(targets[prefix])
             result.probes_sent += trace.probes
@@ -140,7 +148,22 @@ class TracerouteScanner:
                 result.add_hop(prefix, ttl, responder)
             if trace.residual_distance is not None:
                 result.record_destination(prefix, trace.residual_distance)
+            now = tracer.clock.now
+            if progress is not None and progress.due(now):
+                progress.report(now, {
+                    "tool": tool_name,
+                    "probes": result.probes_sent,
+                    "pps": result.probes_sent / now if now > 0 else 0.0,
+                    "interfaces": result.interface_count(),
+                })
         result.duration = tracer.clock.now
+        if span_tracer is not None:
+            span_tracer.end("scan", tool_name, tracer.clock.now,
+                            probes=result.probes_sent,
+                            responses=result.responses,
+                            interfaces=result.interface_count())
+        if telemetry is not None:
+            telemetry.record_result(result)
         return result
 
 
@@ -160,4 +183,4 @@ def _build_traceroute(options: ScannerOptions) -> TracerouteScanner:
         overrides["inter_probe_gap"] = 1.0 / options.probing_rate
     if options.seed is not None:
         overrides["seed"] = options.seed
-    return TracerouteScanner(**overrides)
+    return TracerouteScanner(telemetry=options.telemetry, **overrides)

@@ -108,22 +108,33 @@ class YarrpConfig:
 class Yarrp:
     """The Yarrp scanner."""
 
-    def __init__(self, config: Optional[YarrpConfig] = None) -> None:
+    def __init__(self, config: Optional[YarrpConfig] = None,
+                 telemetry=None) -> None:
         self.config = config if config is not None else YarrpConfig.yarrp_32()
+        #: Optional :class:`repro.obs.Telemetry`; ``None`` keeps the
+        #: stateless bulk loop on its zero-overhead path.
+        self.telemetry = telemetry
 
     def scan(self, network: SimulatedNetwork,
              targets: Optional[Dict[int, int]] = None,
              tool_name: Optional[str] = None) -> ScanResult:
-        run = _YarrpRun(self.config, network, targets, tool_name)
+        run = _YarrpRun(self.config, network, targets, tool_name,
+                        telemetry=self.telemetry)
         return run.execute()
 
 
 class _YarrpRun:
     def __init__(self, config: YarrpConfig, network: SimulatedNetwork,
                  targets: Optional[Dict[int, int]],
-                 tool_name: Optional[str]) -> None:
+                 tool_name: Optional[str],
+                 telemetry=None) -> None:
         self.config = config
         self.network = network
+        self.telemetry = telemetry
+        self._tracer = (telemetry.tracer if telemetry is not None
+                        and telemetry.tracer.enabled else None)
+        self._progress = (telemetry.progress if telemetry is not None
+                          else None)
         topology = network.topology
         self.base_prefix = topology.base_prefix
         self.num_prefixes = topology.num_prefixes
@@ -246,14 +257,45 @@ class _YarrpRun:
                 if distance is not None:
                     self.result.record_destination(prefix, distance)
 
+    def _report_progress(self) -> None:
+        progress = self._progress
+        if progress is None or not progress.due(self.clock.now):
+            return
+        now = self.clock.now
+        result = self.result
+        progress.report(now, {
+            "tool": result.tool,
+            "probes": result.probes_sent,
+            "pps": result.probes_sent / now if now > 0 else 0.0,
+            "interfaces": result.interface_count(),
+        })
+
+    def _finalize(self) -> ScanResult:
+        self.result.duration = self.clock.now
+        self.result.skipped_probes = self.skipped_by_protection
+        if self._tracer is not None:
+            self._tracer.end("scan", self.result.tool, self.clock.now,
+                             probes=self.result.probes_sent,
+                             responses=self.result.responses,
+                             interfaces=self.result.interface_count())
+        if self.telemetry is not None:
+            self.telemetry.record_result(self.result)
+        return self.result
+
     # ------------------------------------------------------------------ #
 
     def execute(self) -> ScanResult:
         config = self.config
         domain = len(self.offsets) * config.bulk_ttl
         cycle = MultiplicativeCycle(domain, config.seed ^ 0x59A44)
+        tracer = self._tracer
+        if tracer is not None:
+            tracer.begin("scan", self.result.tool, self.clock.now,
+                         targets=self.result.num_targets, rate_pps=self.rate)
         if config.fill_start is None and config.neighborhood_radius == 0:
             return self._execute_stateless(cycle)
+        if tracer is not None:
+            tracer.begin("phase", "bulk+fill", self.clock.now)
         for value in cycle:
             self._drain(self.clock.now)
             while self.fill_backlog:
@@ -267,6 +309,7 @@ class _YarrpRun:
                 continue
             dst = self.targets[self.base_prefix + self.offsets[index]]
             self._send(dst, ttl)
+            self._report_progress()
         # Let the tail of fill chains complete.
         while True:
             self.clock.advance(_SETTLE_SECONDS)
@@ -276,9 +319,11 @@ class _YarrpRun:
             while self.fill_backlog:
                 fill_dst, fill_ttl = self.fill_backlog.pop()
                 self._send(fill_dst, fill_ttl)
-        self.result.duration = self.clock.now
-        self.result.skipped_probes = self.skipped_by_protection
-        return self.result
+        if tracer is not None:
+            tracer.end("phase", "bulk+fill", self.clock.now,
+                       probes=self.result.probes_sent,
+                       skipped=self.skipped_by_protection)
+        return self._finalize()
 
     def _execute_stateless(self, cycle: MultiplicativeCycle) -> ScanResult:
         """The bulk phase with no fill mode and no neighborhood protection.
@@ -293,6 +338,9 @@ class _YarrpRun:
         targets = self.targets
         base_prefix = self.base_prefix
         offsets = self.offsets
+        tracer = self._tracer
+        if tracer is not None:
+            tracer.begin("phase", "bulk", self.clock.now)
         chunk: List[Tuple[int, int]] = []
         for value in cycle:
             index, ttl_index = divmod(value, bulk_ttl)
@@ -302,13 +350,15 @@ class _YarrpRun:
                 self._send_chunk(chunk)
                 self._drain(self.clock.now)
                 chunk.clear()
+                self._report_progress()
         if chunk:
             self._send_chunk(chunk)
         self.clock.advance(_SETTLE_SECONDS)
         self._drain(self.clock.now)
-        self.result.duration = self.clock.now
-        self.result.skipped_probes = self.skipped_by_protection
-        return self.result
+        if tracer is not None:
+            tracer.end("phase", "bulk", self.clock.now,
+                       probes=self.result.probes_sent)
+        return self._finalize()
 
 
 # --------------------------------------------------------------------- #
@@ -323,7 +373,7 @@ def _yarrp_factory(variant):
         overrides = {"probing_rate": options.probing_rate}
         if options.seed is not None:
             overrides["seed"] = options.seed
-        return Yarrp(variant(**overrides))
+        return Yarrp(variant(**overrides), telemetry=options.telemetry)
     return build
 
 

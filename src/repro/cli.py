@@ -155,6 +155,17 @@ def _build_parser() -> argparse.ArgumentParser:
                       help="bypass the simulator's flat route cache and "
                            "resolve every probe from scratch (A/B and "
                            "debugging; results are identical)")
+    scan.add_argument("--metrics-out", metavar="FILE", default=None,
+                      help="write a metrics-registry snapshot (JSON) after "
+                           "the scan (see docs/observability.md)")
+    scan.add_argument("--trace", metavar="FILE", default=None,
+                      help="write structured scan/phase/round span events "
+                           "as JSONL")
+    scan.add_argument("--progress", nargs="?", const=1.0,
+                      type=_positive_float, default=None,
+                      metavar="SECONDS",
+                      help="print progress snapshots to stderr every "
+                           "SECONDS of virtual scan time (default 1.0)")
 
     experiment = sub.add_parser("experiment",
                                 help="regenerate a paper table/figure")
@@ -163,15 +174,40 @@ def _build_parser() -> argparse.ArgumentParser:
                             help="override REPRO_BENCH_PREFIXES")
 
     sub.add_parser("list", help="list available experiments")
+
+    report = sub.add_parser(
+        "metrics-report",
+        help="summarize one metrics snapshot or diff two")
+    report.add_argument("metrics", metavar="FILE",
+                        help="metrics JSON written by scan --metrics-out")
+    report.add_argument("baseline", metavar="BASELINE", nargs="?",
+                        default=None,
+                        help="second snapshot to diff against (optional)")
+    report.add_argument("--changed-only", action="store_true",
+                        help="when diffing, show only rows whose value "
+                             "differs")
     return parser
 
 
-def _build_scanner(args: argparse.Namespace):
+def _build_telemetry(args: argparse.Namespace):
+    """Construct the observability bundle when any telemetry flag is set;
+    ``None`` otherwise so every engine stays on its zero-overhead path."""
+    if (args.metrics_out is None and args.trace is None
+            and args.progress is None):
+        return None
+    from .obs import Telemetry
+
+    return Telemetry.create(trace_path=args.trace,
+                            progress_interval=args.progress)
+
+
+def _build_scanner(args: argparse.Namespace, telemetry=None):
     """Resolve ``--tool`` through the scanner registry (repro.core.scanner);
     tool-specific construction lives with each tool's registration."""
     return create_scanner(args.tool, ScannerOptions(
         probing_rate=args.rate, split_ttl=args.split_ttl,
-        gap_limit=args.gap_limit, preprobe=args.preprobe))
+        gap_limit=args.gap_limit, preprobe=args.preprobe,
+        telemetry=telemetry))
 
 
 def _scan_to_json(result: ScanResult) -> str:
@@ -210,12 +246,22 @@ def _run_scan(args: argparse.Namespace) -> int:
 
         pcap_handle = open(args.pcap, "wb")
         network = CapturingNetwork(network, pcap_handle)
+    telemetry = _build_telemetry(args)
     try:
-        scanner = _build_scanner(args)
+        scanner = _build_scanner(args, telemetry=telemetry)
         result = scanner.scan(network)
     finally:
         if pcap_handle is not None:
             pcap_handle.close()
+    if args.loss or args.blackout:
+        # Fault-injection runs carry the simulator's cache/fault counters
+        # with the result (as_row columns + the human summary line below).
+        result.attach_simnet_stats(network.stats())
+    if telemetry is not None:
+        telemetry.record_network(network)
+        if args.metrics_out is not None:
+            telemetry.registry.save(args.metrics_out)
+        telemetry.close()
     if args.output is not None:
         _save_output(result, args.output)
     if args.json:
@@ -228,10 +274,34 @@ def _run_scan(args: argparse.Namespace) -> int:
         if args.loss or args.blackout:
             print(f"  holes={result.route_holes():,} "
                   f"duplicates={result.duplicate_responses:,}")
+            stats = network.stats()
+            cache = stats.get("route_cache")
+            fault_stats = stats.get("faults")
+            if cache is not None:
+                print(f"  cache: hits={cache['hits']:,} "
+                      f"misses={cache['misses']:,}")
+            if fault_stats is not None:
+                print(f"  faults: probes_lost={fault_stats['probes_lost']:,} "
+                      f"responses_lost={fault_stats['responses_lost']:,} "
+                      f"blackout_drops={fault_stats['blackout_drops']:,} "
+                      f"duplicates_injected="
+                      f"{fault_stats['duplicates_injected']:,}")
         if args.pcap is not None:
             print(f"  pcap: {args.pcap}")
         if args.output is not None:
             print(f"  saved: {args.output}")
+        if args.metrics_out is not None:
+            print(f"  metrics: {args.metrics_out}")
+        if args.trace is not None:
+            print(f"  trace: {args.trace}")
+    return 0
+
+
+def _run_metrics_report(args: argparse.Namespace) -> int:
+    from .obs.report import metrics_report
+
+    print(metrics_report(args.metrics, args.baseline,
+                         changed_only=args.changed_only))
     return 0
 
 
@@ -249,6 +319,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _run_scan(args)
     if args.command == "experiment":
         return _run_experiment(args)
+    if args.command == "metrics-report":
+        return _run_metrics_report(args)
     if args.command == "list":
         for name in sorted(_EXPERIMENTS):
             print(name)

@@ -28,6 +28,7 @@ from __future__ import annotations
 from typing import Dict, Iterable, List, Optional, Set, Tuple
 
 from ..net.icmp import IcmpResponse, ResponseKind, distance_from_unreachable
+from ..obs.telemetry import record_scan_ring
 from ..simnet.config import scaled_probing_rate
 from ..simnet.engine import ResponseQueue, VirtualClock
 from ..simnet.network import SimulatedNetwork
@@ -49,8 +50,12 @@ _PREPROBE_TTL = 32
 class FlashRoute:
     """FlashRoute scanner: create once, call :meth:`scan` per run."""
 
-    def __init__(self, config: Optional[FlashRouteConfig] = None) -> None:
+    def __init__(self, config: Optional[FlashRouteConfig] = None,
+                 telemetry=None) -> None:
         self.config = config if config is not None else FlashRouteConfig()
+        #: Optional :class:`repro.obs.Telemetry`; ``None`` keeps every
+        #: path byte-identical to the pre-telemetry engine.
+        self.telemetry = telemetry
 
     def scan(self, network: SimulatedNetwork,
              targets: Optional[Dict[int, int]] = None,
@@ -77,7 +82,8 @@ class FlashRoute:
             excluded: prefixes to leave out of the ring (exclusion list).
         """
         run = _ScanRun(self.config, network, targets, preprobe_targets,
-                       stop_set, start_ttls, tool_name, excluded)
+                       stop_set, start_ttls, tool_name, excluded,
+                       telemetry=self.telemetry)
         return run.execute()
 
 
@@ -90,9 +96,18 @@ class _ScanRun:
                  stop_set: Optional[Set[int]],
                  start_ttls: Optional[Dict[int, int]],
                  tool_name: Optional[str],
-                 excluded: Optional[Iterable[int]]) -> None:
+                 excluded: Optional[Iterable[int]],
+                 telemetry=None) -> None:
         self.config = config
         self.network = network
+        self.telemetry = telemetry
+        #: Hot-path handles: ``None`` when telemetry is off, so the only
+        #: cost a disabled run pays is an identity test per checkpoint.
+        self._reg = telemetry.registry if telemetry is not None else None
+        self._tracer = (telemetry.tracer if telemetry is not None
+                        and telemetry.tracer.enabled else None)
+        self._progress = (telemetry.progress if telemetry is not None
+                          else None)
         topology = network.topology
         # Block granularity (paper §5.4): the control-state array holds one
         # DCB per /granularity block; at the default 24 a block is a /24.
@@ -278,13 +293,19 @@ class _ScanRun:
             if ttl <= dcb.split[offset] and dcb.next_backward[offset] > 0:
                 if ttl == 1:
                     dcb.next_backward[offset] = 0
+                    if self._reg is not None:
+                        self._reg.inc("scan.backward_stops.ttl1")
                 elif (config.redundancy_removal
                       and response.responder in self.stop_set):
                     dcb.next_backward[offset] = 0
+                    if self._reg is not None:
+                        self._reg.inc("scan.backward_stops.stop_set")
             self.stop_set.add(response.responder)
             return
 
         if kind.is_unreachable:
+            if self._reg is not None and not dcb.dest_reached(offset):
+                self._reg.inc("scan.forward_stops.dest_reached")
             dcb.mark_dest_reached(offset)
             if kind is not ResponseKind.HOST_UNREACHABLE \
                     and response.responder == decoded.dst:
@@ -300,6 +321,10 @@ class _ScanRun:
     def _run_preprobe(self) -> None:
         self.in_preprobe = True
         started = self.clock.now
+        tracer = self._tracer
+        if tracer is not None:
+            tracer.begin("phase", "preprobe", started,
+                         folded=self.fold_preprobe)
         for offset in self.dcb.iter_ring():
             prefix = self.base_prefix + offset
             target = self.preprobe_targets.get(prefix)
@@ -317,6 +342,21 @@ class _ScanRun:
         outcome.predicted = predict_distances(
             outcome.measured, self.num_prefixes, self.config.proximity_span)
         self._apply_split_points(outcome)
+        if self._reg is not None:
+            # Prediction ledger (§3.3.4): measured = a preprobe answered,
+            # predicted = proximity-span extension, unresolved = neither
+            # (the destination falls back to the default split TTL).
+            reg = self._reg
+            reg.inc("scan.preprobe.measured", len(outcome.measured))
+            reg.inc("scan.preprobe.predicted", len(outcome.predicted))
+            reg.inc("scan.preprobe.unresolved",
+                    max(0, len(self.dcb) - len(outcome.measured)
+                        - len(outcome.predicted)))
+        if tracer is not None:
+            tracer.end("phase", "preprobe", self.clock.now,
+                       probes=outcome.probes,
+                       measured=len(outcome.measured),
+                       predicted=len(outcome.predicted))
 
     def _apply_split_points(self, outcome: PreprobeOutcome) -> None:
         gap_limit = self.config.gap_limit
@@ -343,15 +383,54 @@ class _ScanRun:
         limit = min(dcb.forward_horizon[offset], self.config.max_ttl)
         return dcb.next_forward[offset] > limit
 
+    def _remove_finished(self, offset: int) -> None:
+        """Retire a finished destination, attributing the forward-probing
+        stop reason (telemetry only; removal itself is unconditional)."""
+        dcb = self.dcb
+        if self._reg is not None and not dcb.dest_reached(offset):
+            # The forward walk ran out without an answer from the target:
+            # a horizon below max_ttl means GapLimit silent hops in a row
+            # cut it short (§3.4), otherwise it simply hit the TTL cap.
+            if min(dcb.forward_horizon[offset],
+                   self.config.max_ttl) < self.config.max_ttl:
+                self._reg.inc("scan.forward_stops.gap_limit")
+            else:
+                self._reg.inc("scan.forward_stops.max_ttl")
+        dcb.remove(offset)
+
+    def _report_round_progress(self) -> None:
+        progress = self._progress
+        if progress is None or not progress.due(self.clock.now):
+            return
+        now = self.clock.now
+        result = self.result
+        progress.report(now, {
+            "tool": result.tool,
+            "round": result.rounds,
+            "probes": result.probes_sent,
+            "pps": result.probes_sent / now if now > 0 else 0.0,
+            "remaining": len(self.dcb),
+            "interfaces": result.interface_count(),
+        })
+
     def _run_main_rounds(self) -> None:
         config = self.config
         dcb = self.dcb
+        reg = self._reg
+        tracer = self._tracer
         while len(dcb) > 0:
             if self.result.rounds >= config.max_rounds:
                 self.result.aborted = True
                 break
             self.result.rounds += 1
             round_start = self.clock.now
+            occupancy = len(dcb)
+            if reg is not None:
+                record_scan_ring(reg, occupancy)
+            if tracer is not None:
+                tracer.begin("round", f"round-{self.result.rounds}",
+                             round_start, occupancy=occupancy)
+            probes_before = self.result.probes_sent
             for offset in dcb.iter_ring():
                 self._drain(self.clock.now)
                 if dcb.is_removed(offset):
@@ -371,22 +450,44 @@ class _ScanRun:
                 if pair:
                     self._send_batch(pair)
                 elif self._destination_finished(offset):
-                    dcb.remove(offset)
+                    self._remove_finished(offset)
             self.clock.advance_to(round_start + config.round_seconds)
             self._drain(self.clock.now)
+            if tracer is not None:
+                tracer.end("round", f"round-{self.result.rounds}",
+                           self.clock.now,
+                           probes=self.result.probes_sent - probes_before,
+                           remaining=len(dcb))
+            self._report_round_progress()
 
     def execute(self) -> ScanResult:
         set_cache = getattr(self.network, "set_route_cache_enabled", None)
         was_cached = None
         if not self.config.route_cache and set_cache is not None:
             was_cached = set_cache(False)
+        tracer = self._tracer
         try:
+            if tracer is not None:
+                tracer.begin("scan", self.result.tool, self.clock.now,
+                             targets=self.result.num_targets,
+                             rate_pps=self.rate)
             if self.config.preprobe is not PreprobeMode.NONE:
                 self._run_preprobe()
+            if tracer is not None:
+                tracer.begin("phase", "main", self.clock.now)
             self._run_main_rounds()
             self.clock.advance(_SETTLE_SECONDS)
             self._drain(self.clock.now)
             self.result.duration = self.clock.now
+            if tracer is not None:
+                tracer.end("phase", "main", self.clock.now,
+                           rounds=self.result.rounds)
+                tracer.end("scan", self.result.tool, self.clock.now,
+                           probes=self.result.probes_sent,
+                           responses=self.result.responses,
+                           interfaces=self.result.interface_count())
+            if self.telemetry is not None:
+                self.telemetry.record_result(self.result)
             return self.result
         finally:
             if was_cached:
@@ -414,7 +515,8 @@ def _flashroute_factory(default_split: int):
         }
         if options.seed is not None:
             overrides["seed"] = options.seed
-        return FlashRoute(FlashRouteConfig(**overrides))
+        return FlashRoute(FlashRouteConfig(**overrides),
+                          telemetry=options.telemetry)
     return build
 
 
@@ -427,4 +529,5 @@ def _build_yarrp32_udp_sim(options: ScannerOptions) -> FlashRoute:
     overrides = {"probing_rate": options.probing_rate}
     if options.seed is not None:
         overrides["seed"] = options.seed
-    return FlashRoute(FlashRouteConfig.yarrp32_udp_simulation(**overrides))
+    return FlashRoute(FlashRouteConfig.yarrp32_udp_simulation(**overrides),
+                      telemetry=options.telemetry)

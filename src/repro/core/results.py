@@ -72,6 +72,14 @@ class ScanResult:
     rtt_sum_ms: float = 0.0
     rtt_count: int = 0
 
+    #: Simulator-side telemetry (``SimulatedNetwork.stats()``) attached
+    #: after the scan, so fault/cache counters travel with the result —
+    #: ``--loss`` runs surface them in :meth:`as_row` and the human CLI
+    #: output without needing a separate metrics file.  ``None`` (the
+    #: default) leaves :meth:`as_row` byte-identical to its pre-telemetry
+    #: output.
+    simnet_stats: Optional[Dict[str, object]] = None
+
     # ------------------------------------------------------------------ #
     # Recording (engines call these)
     # ------------------------------------------------------------------ #
@@ -94,6 +102,11 @@ class ScanResult:
     def add_rtt(self, rtt_ms: float) -> None:
         self.rtt_sum_ms += rtt_ms
         self.rtt_count += 1
+
+    def attach_simnet_stats(self, stats: Dict[str, object]) -> None:
+        """Attach ``SimulatedNetwork.stats()`` output (route cache, rate
+        limiter, fault injector counters) to this result."""
+        self.simnet_stats = stats
 
     # ------------------------------------------------------------------ #
     # Derived views
@@ -169,7 +182,7 @@ class ScanResult:
         fault-accounting columns were added so drivers stop recomputing
         them ad hoc.
         """
-        return {
+        row: Dict[str, object] = {
             "tool": self.tool,
             "interfaces": self.interface_count(),
             "probes": self.probes_sent,
@@ -181,6 +194,22 @@ class ScanResult:
             "scan_time": self.duration,
             "scan_time_text": format_scan_time(self.duration),
         }
+        stats = self.simnet_stats
+        if stats is not None:
+            cache = stats.get("route_cache")
+            if cache is not None:
+                row["cache_hits"] = cache["hits"]
+                row["cache_misses"] = cache["misses"]
+            ratelimit = stats.get("ratelimit")
+            if ratelimit is not None:
+                row["rate_limited_drops"] = ratelimit["dropped"]
+            faults = stats.get("faults")
+            if faults is not None:
+                row["probes_lost"] = faults["probes_lost"]
+                row["responses_lost"] = faults["responses_lost"]
+                row["blackout_drops"] = faults["blackout_drops"]
+                row["duplicates_injected"] = faults["duplicates_injected"]
+        return row
 
 
 def union_interfaces(results: Iterable[ScanResult]) -> FrozenSet[int]:

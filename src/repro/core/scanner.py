@@ -58,6 +58,12 @@ class ScannerOptions:
     #: Per-scan randomization seed (probing order, port draws).
     seed: Optional[int] = None
 
+    #: Optional :class:`repro.obs.Telemetry` bundle (metrics registry,
+    #: tracer, progress reporter).  Factories hand it to their engine;
+    #: ``None`` (the default) keeps every tool on its zero-overhead path.
+    #: Typed loosely to keep this module import-light.
+    telemetry: Optional[object] = None
+
 
 ScannerFactory = Callable[[ScannerOptions], Scanner]
 

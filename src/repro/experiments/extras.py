@@ -3,7 +3,6 @@ rewriting) and the ablations DESIGN.md §5 calls out."""
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 from typing import Callable, List, Tuple
 
@@ -13,6 +12,7 @@ from ..core.config import FlashRouteConfig
 from ..core.discovery import DiscoveryOptimizedResult, run_discovery_optimized
 from ..core.prober import FlashRoute
 from ..core.results import ScanResult, format_scan_time
+from ..obs.timing import Stopwatch
 from .common import ExperimentContext
 from .figures import one_probe_distances
 from ..core.preprobe import predict_distances
@@ -66,11 +66,10 @@ def run_table5(context: ExperimentContext) -> ThroughputResult:
     result = ThroughputResult()
 
     def measure(tool: str, runner: Callable[[], ScanResult]) -> None:
-        started = time.perf_counter()
-        scan = runner()
-        elapsed = time.perf_counter() - started
+        with Stopwatch() as watch:
+            scan = runner()
         result.rows.append(ThroughputRow(tool=tool, probes=scan.probes_sent,
-                                         wall_seconds=elapsed))
+                                         wall_seconds=watch.elapsed))
 
     measure("FlashRoute-32",
             lambda: FlashRoute(FlashRouteConfig.flashroute_32()).scan(

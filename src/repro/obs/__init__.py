@@ -1,0 +1,62 @@
+"""Unified scan telemetry: metrics, tracing, progress (observability).
+
+The real FlashRoute tool prints live rate/remaining-DCB statistics during
+a scan and its evaluation (§3.2–§4) hinges on *why* probes were saved —
+per-phase probe counts, backward-probing stop-set hits, gap-limit
+terminations.  Yarrp ships per-epoch statistics output and Doubletree was
+analysed through redundancy counters; this package gives the reproduction
+the same instrument panel, dependency-free:
+
+* :class:`MetricsRegistry` — named counters / gauges / fixed-bucket
+  histograms every hot path reports into.  Snapshots are deterministic
+  under a fixed seed (wall-clock fields live in a segregated ``wall``
+  section), so equivalence tests can assert that cached and uncached
+  scans produce identical telemetry.
+* :class:`ScanTracer` — structured JSONL span events (scan → phase →
+  round) stamped with both virtual and wall time.  The default
+  :data:`NULL_TRACER` is a no-op, so tracing costs nothing when disabled.
+* :class:`ProgressReporter` — periodic in-scan snapshots (pps, targets
+  remaining, discovered interfaces) to stderr, keyed off the *virtual*
+  clock so ``--progress`` output is reproducible in tests.
+* :class:`Telemetry` — the bundle engines accept (``telemetry=`` on every
+  scanner constructor / :class:`~repro.core.scanner.ScannerOptions`).
+  ``None`` (the default) keeps every hot path on its pre-telemetry code,
+  byte-identical results included.
+* :class:`Stopwatch` — the one wall-clock timing helper (replaces ad-hoc
+  ``time.perf_counter`` stopwatch code in the experiment drivers).
+
+``tools/metrics_report.py`` (also ``flashroute-sim metrics-report``)
+summarizes one metrics file or diffs two.
+"""
+
+from .metrics import (
+    DEFAULT_BUCKETS,
+    METRICS_SCHEMA,
+    POW2_BUCKETS,
+    MetricsRegistry,
+    deterministic_snapshot,
+    load_snapshot,
+)
+from .progress import ProgressReporter
+from .telemetry import Telemetry, record_network, record_scan_result
+from .timing import Stopwatch
+from .trace import NULL_TRACER, NullTracer, ScanTracer, read_trace, validate_trace
+
+__all__ = [
+    "DEFAULT_BUCKETS",
+    "METRICS_SCHEMA",
+    "POW2_BUCKETS",
+    "MetricsRegistry",
+    "NULL_TRACER",
+    "NullTracer",
+    "ProgressReporter",
+    "ScanTracer",
+    "Stopwatch",
+    "Telemetry",
+    "deterministic_snapshot",
+    "load_snapshot",
+    "read_trace",
+    "record_network",
+    "record_scan_result",
+    "validate_trace",
+]

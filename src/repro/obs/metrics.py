@@ -1,0 +1,196 @@
+"""The metrics registry: named counters, gauges and fixed-bucket histograms.
+
+Deterministic by construction: values derive only from what the scan did
+(virtual time, probe counts, seeded draws), never from wall clocks or
+iteration order.  :meth:`MetricsRegistry.snapshot` sorts every mapping and
+:meth:`MetricsRegistry.save` confines wall-clock stamps to a segregated
+``wall`` section, so two runs with the same seed produce byte-identical
+metrics files once that section is dropped (see
+:func:`deterministic_snapshot`) — the property the telemetry equivalence
+tests pin.
+
+Metric names are dotted paths namespaced by layer (``scan.*`` for the
+probing engines, ``simnet.*`` for the simulator); the namespaces matter
+because some are properties of the *serving mode* rather than the scan —
+``simnet.cache.*`` differs between cached and uncached runs of the same
+scan by design, and the equivalence tests exclude exactly that prefix.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+#: Schema tag written into every snapshot; bump on breaking layout change.
+METRICS_SCHEMA = "repro.obs.metrics/1"
+
+#: Default histogram bucket upper bounds: a 1-2-5 ladder wide enough for
+#: RTTs in milliseconds and per-round probe counts alike.
+DEFAULT_BUCKETS: Tuple[float, ...] = (
+    1, 2, 5, 10, 20, 50, 100, 200, 500,
+    1_000, 2_000, 5_000, 10_000, 20_000, 50_000, 100_000)
+
+#: Power-of-two bucket bounds for set sizes (ring occupancy, stop sets).
+POW2_BUCKETS: Tuple[float, ...] = tuple(1 << n for n in range(21))
+
+
+class _Histogram:
+    """Fixed-bucket histogram: counts per bound plus an overflow slot."""
+
+    __slots__ = ("bounds", "counts", "count", "total")
+
+    def __init__(self, bounds: Sequence[float]) -> None:
+        if not bounds or list(bounds) != sorted(bounds):
+            raise ValueError("histogram bounds must be non-empty and sorted")
+        self.bounds: Tuple[float, ...] = tuple(bounds)
+        #: One slot per bound (value <= bound) plus the overflow slot.
+        self.counts: List[int] = [0] * (len(self.bounds) + 1)
+        self.count = 0
+        self.total = 0.0
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        for index, bound in enumerate(self.bounds):
+            if value <= bound:
+                self.counts[index] += 1
+                return
+        self.counts[-1] += 1
+
+    def as_dict(self) -> Dict[str, object]:
+        return {"bounds": list(self.bounds), "counts": list(self.counts),
+                "count": self.count, "sum": self.total}
+
+
+class MetricsRegistry:
+    """Named counters, gauges and histograms for one (or more) scans.
+
+    One registry typically serves one scan run; sharing one across several
+    scans simply accumulates (counters add up, gauges keep the last value),
+    which is what the discovery-optimized multi-scan mode wants.
+    """
+
+    __slots__ = ("_counters", "_gauges", "_histograms")
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, int] = {}
+        self._gauges: Dict[str, float] = {}
+        self._histograms: Dict[str, _Histogram] = {}
+
+    # ------------------------------------------------------------------ #
+    # Recording
+    # ------------------------------------------------------------------ #
+
+    def inc(self, name: str, value: int = 1) -> None:
+        """Add ``value`` to counter ``name`` (created at 0)."""
+        self._counters[name] = self._counters.get(name, 0) + value
+
+    def set_gauge(self, name: str, value: float) -> None:
+        """Set gauge ``name`` to its latest value."""
+        self._gauges[name] = value
+
+    def observe(self, name: str, value: float,
+                buckets: Sequence[float] = DEFAULT_BUCKETS) -> None:
+        """Record ``value`` into histogram ``name``.
+
+        The bucket bounds are fixed on first observation; observing into
+        an existing histogram with different bounds raises (silently
+        switching bounds would make snapshots incomparable).
+        """
+        histogram = self._histograms.get(name)
+        if histogram is None:
+            histogram = _Histogram(buckets)
+            self._histograms[name] = histogram
+        elif histogram.bounds != tuple(buckets):
+            raise ValueError(
+                f"histogram {name!r} already exists with bounds "
+                f"{histogram.bounds}")
+        histogram.observe(value)
+
+    # ------------------------------------------------------------------ #
+    # Reading
+    # ------------------------------------------------------------------ #
+
+    def counter(self, name: str) -> int:
+        return self._counters.get(name, 0)
+
+    def gauge(self, name: str) -> Optional[float]:
+        return self._gauges.get(name)
+
+    def names(self) -> List[str]:
+        """Sorted names across all metric kinds."""
+        return sorted(set(self._counters) | set(self._gauges)
+                      | set(self._histograms))
+
+    def snapshot(self) -> Dict[str, object]:
+        """The deterministic state of every metric (no wall-clock fields)."""
+        return {
+            "schema": METRICS_SCHEMA,
+            "counters": {name: self._counters[name]
+                         for name in sorted(self._counters)},
+            "gauges": {name: self._gauges[name]
+                       for name in sorted(self._gauges)},
+            "histograms": {name: self._histograms[name].as_dict()
+                           for name in sorted(self._histograms)},
+        }
+
+    # ------------------------------------------------------------------ #
+    # Persistence
+    # ------------------------------------------------------------------ #
+
+    def save(self, path: str, extra_wall: Optional[Dict[str, object]] = None
+             ) -> None:
+        """Write the snapshot as JSON with a segregated ``wall`` section.
+
+        Everything outside ``wall`` is byte-identical across same-seed
+        runs; ``wall`` carries the write timestamp (and any caller-supplied
+        wall-clock extras, e.g. elapsed CPU seconds).
+        """
+        payload = self.snapshot()
+        wall: Dict[str, object] = {"written_unix": time.time()}
+        if extra_wall:
+            wall.update(extra_wall)
+        payload["wall"] = wall
+        with open(path, "w", encoding="utf-8") as stream:
+            json.dump(payload, stream, indent=2, sort_keys=True)
+            stream.write("\n")
+
+
+def load_snapshot(path: str) -> Dict[str, object]:
+    """Load a metrics file written by :meth:`MetricsRegistry.save`."""
+    with open(path, encoding="utf-8") as stream:
+        payload = json.load(stream)
+    schema = payload.get("schema")
+    if schema != METRICS_SCHEMA:
+        raise ValueError(f"unsupported metrics schema: {schema!r}")
+    return payload
+
+
+def deterministic_snapshot(snapshot: Dict[str, object],
+                           exclude_prefixes: Iterable[str] = ()
+                           ) -> Dict[str, object]:
+    """``snapshot`` minus the ``wall`` section and any metric whose name
+    starts with one of ``exclude_prefixes``.
+
+    The equivalence tests feed ``exclude_prefixes=("simnet.cache.",)`` to
+    compare cached vs uncached scans: the cache counters describe the
+    serving mode, everything else must match exactly.
+    """
+    prefixes = tuple(exclude_prefixes)
+
+    def keep(name: str) -> bool:
+        return not name.startswith(prefixes) if prefixes else True
+
+    return {
+        "schema": snapshot.get("schema"),
+        "counters": {name: value
+                     for name, value in snapshot.get("counters", {}).items()
+                     if keep(name)},
+        "gauges": {name: value
+                   for name, value in snapshot.get("gauges", {}).items()
+                   if keep(name)},
+        "histograms": {name: value
+                       for name, value in snapshot.get("histograms", {}).items()
+                       if keep(name)},
+    }

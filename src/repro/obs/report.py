@@ -1,0 +1,94 @@
+"""Metrics-file summaries and diffs (``flashroute-sim metrics-report``).
+
+Feeds the BENCH_* trajectory analysis: run two scans with ``--metrics-out``
+(different configs, seeds, or code revisions) and diff the snapshots to see
+exactly which phase saved or spent the probes.  Wall-clock fields are
+segregated in the files and ignored here, so diffs only ever show real
+behavioural deltas.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..analysis.report import render_table
+from .metrics import load_snapshot
+
+
+def flatten_snapshot(snapshot: Dict[str, object]) -> Dict[str, float]:
+    """One flat ``name -> value`` view of a snapshot's deterministic part.
+
+    Histograms contribute their ``count`` and ``sum`` under derived names
+    (``<name>.count`` / ``<name>.sum``); bucket vectors are summary-diffed
+    through those, not bucket by bucket.
+    """
+    flat: Dict[str, float] = {}
+    for name, value in snapshot.get("counters", {}).items():
+        flat[name] = value
+    for name, value in snapshot.get("gauges", {}).items():
+        flat[name] = value
+    for name, histogram in snapshot.get("histograms", {}).items():
+        flat[f"{name}.count"] = histogram["count"]
+        flat[f"{name}.sum"] = histogram["sum"]
+    return flat
+
+
+def diff_rows(a: Dict[str, object], b: Dict[str, object]
+              ) -> List[Tuple[str, Optional[float], Optional[float],
+                              Optional[float]]]:
+    """Per-metric ``(name, a, b, b - a)`` rows over the union of names;
+    a missing side reports ``None`` (rendered as ``-``)."""
+    flat_a = flatten_snapshot(a)
+    flat_b = flatten_snapshot(b)
+    rows = []
+    for name in sorted(set(flat_a) | set(flat_b)):
+        left = flat_a.get(name)
+        right = flat_b.get(name)
+        delta = (right - left) if left is not None and right is not None \
+            else None
+        rows.append((name, left, right, delta))
+    return rows
+
+
+def _fmt(value: Optional[float]) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float) and not value.is_integer():
+        return f"{value:,.2f}"
+    return f"{int(value):,}"
+
+
+def render_summary(snapshot: Dict[str, object], label: str = "value") -> str:
+    """One metrics file as a sorted table."""
+    flat = flatten_snapshot(snapshot)
+    return render_table(
+        ["Metric", label],
+        [[name, _fmt(flat[name])] for name in sorted(flat)],
+        title="[metrics] snapshot summary")
+
+
+def render_diff(a: Dict[str, object], b: Dict[str, object],
+                label_a: str = "A", label_b: str = "B",
+                changed_only: bool = False) -> str:
+    """Two metrics files side by side with deltas."""
+    rows = diff_rows(a, b)
+    if changed_only:
+        rows = [row for row in rows if row[3] is None or row[3] != 0]
+    body = [[name, _fmt(left), _fmt(right),
+             _fmt(delta) if delta is None or delta >= 0
+             else f"-{_fmt(-delta)}"]
+            for name, left, right, delta in rows]
+    return render_table(["Metric", label_a, label_b, "Delta (B-A)"], body,
+                        title="[metrics] snapshot diff")
+
+
+def metrics_report(path_a: str, path_b: Optional[str] = None,
+                   changed_only: bool = False) -> str:
+    """Entry point shared by the CLI subcommand and ``tools/``: summarize
+    one metrics file, or diff two."""
+    snapshot_a = load_snapshot(path_a)
+    if path_b is None:
+        return render_summary(snapshot_a)
+    snapshot_b = load_snapshot(path_b)
+    return render_diff(snapshot_a, snapshot_b, label_a=path_a,
+                       label_b=path_b, changed_only=changed_only)

@@ -1,0 +1,44 @@
+"""The one wall-clock timing helper.
+
+Wall time is deliberately quarantined: scan telemetry is virtual-time and
+deterministic, and the only legitimate wall-clock measurements in this
+repository are implementation-throughput numbers (Table 5, the benchmark
+harness).  Those all share this stopwatch instead of re-spelling
+``time.perf_counter()`` bookkeeping inline.
+"""
+
+from __future__ import annotations
+
+import time
+
+
+class Stopwatch:
+    """Context-manager stopwatch over ``time.perf_counter``.
+
+    ::
+
+        with Stopwatch() as watch:
+            do_work()
+        print(watch.elapsed)   # wall seconds, also readable mid-run
+    """
+
+    __slots__ = ("_started", "_stopped")
+
+    def __init__(self) -> None:
+        self._started: float = 0.0
+        self._stopped: float = -1.0
+
+    def __enter__(self) -> "Stopwatch":
+        self._started = time.perf_counter()
+        self._stopped = -1.0
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self._stopped = time.perf_counter()
+
+    @property
+    def elapsed(self) -> float:
+        """Wall seconds since start (final once the block has exited)."""
+        if self._stopped >= 0.0:
+            return self._stopped - self._started
+        return time.perf_counter() - self._started

@@ -1,0 +1,164 @@
+"""Structured scan tracing: JSONL span events over virtual + wall time.
+
+A scan unfolds as nested spans — ``scan`` → ``phase`` (preprobe, main,
+bulk, fill, …) → ``round`` — and the tracer writes one JSON object per
+line at every boundary:
+
+.. code-block:: json
+
+    {"ev": "begin", "span": "round", "name": "round-3", "id": 7,
+     "parent": 2, "vt": 4.096, "wt": 1730000000.1, "occupancy": 812}
+
+``vt`` is the engine's virtual clock (deterministic under a fixed seed);
+``wt`` is ``time.time()`` at write — the single wall-clock field, so tests
+compare traces after stripping it (:func:`read_trace` keeps it, callers
+drop it).  ``id``/``parent`` link the span tree; extra keyword fields ride
+along verbatim.
+
+The default tracer is :data:`NULL_TRACER`, whose methods are no-ops — an
+engine constructed without telemetry pays nothing for tracing, and the
+zero-overhead tests pin that the null path allocates no events.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from typing import Dict, List, Optional, TextIO
+
+#: Trace line schema tag (recorded on the ``scan`` begin event).
+TRACE_SCHEMA = "repro.obs.trace/1"
+
+
+class NullTracer:
+    """No-op tracer: the zero-overhead default."""
+
+    __slots__ = ()
+
+    enabled = False
+
+    def begin(self, span: str, name: str, vt: float, **fields) -> int:
+        return 0
+
+    def end(self, span: str, name: str, vt: float, **fields) -> None:
+        pass
+
+    def event(self, name: str, vt: float, **fields) -> None:
+        pass
+
+    def close(self) -> None:
+        pass
+
+
+#: The shared no-op instance engines default to.
+NULL_TRACER = NullTracer()
+
+
+class ScanTracer:
+    """Writes span begin/end and point events as JSON lines.
+
+    Construct with either an open text stream or a path (owned and closed
+    by :meth:`close`).  Span ids are sequential; the innermost open span
+    is the parent of the next ``begin``.
+    """
+
+    enabled = True
+
+    def __init__(self, stream: Optional[TextIO] = None,
+                 path: Optional[str] = None) -> None:
+        if (stream is None) == (path is None):
+            raise ValueError("pass exactly one of stream= or path=")
+        self._owns_stream = path is not None
+        self._stream: TextIO = (open(path, "w", encoding="utf-8")
+                                if path is not None else stream)
+        self._next_id = 1
+        self._open: List[int] = []  # stack of open span ids
+        self.events_written = 0
+        self._write({"ev": "trace", "schema": TRACE_SCHEMA,
+                     "vt": 0.0, "wt": time.time()})
+
+    # ------------------------------------------------------------------ #
+
+    def _write(self, payload: Dict[str, object]) -> None:
+        self._stream.write(json.dumps(payload, sort_keys=True) + "\n")
+        self.events_written += 1
+
+    def begin(self, span: str, name: str, vt: float, **fields) -> int:
+        """Open a span; returns its id (for symmetry — ``end`` pops)."""
+        span_id = self._next_id
+        self._next_id += 1
+        payload: Dict[str, object] = {
+            "ev": "begin", "span": span, "name": name, "id": span_id,
+            "parent": self._open[-1] if self._open else 0,
+            "vt": vt, "wt": time.time()}
+        payload.update(fields)
+        self._write(payload)
+        self._open.append(span_id)
+        return span_id
+
+    def end(self, span: str, name: str, vt: float, **fields) -> None:
+        """Close the innermost span (must match the ``begin`` order)."""
+        span_id = self._open.pop() if self._open else 0
+        payload: Dict[str, object] = {
+            "ev": "end", "span": span, "name": name, "id": span_id,
+            "vt": vt, "wt": time.time()}
+        payload.update(fields)
+        self._write(payload)
+
+    def event(self, name: str, vt: float, **fields) -> None:
+        """A point event inside the current span."""
+        payload: Dict[str, object] = {
+            "ev": "event", "name": name,
+            "parent": self._open[-1] if self._open else 0,
+            "vt": vt, "wt": time.time()}
+        payload.update(fields)
+        self._write(payload)
+
+    def close(self) -> None:
+        """Flush and (for path-constructed tracers) close the stream."""
+        if self._owns_stream:
+            self._stream.close()
+        else:
+            self._stream.flush()
+
+
+def read_trace(path: str) -> List[Dict[str, object]]:
+    """Parse a JSONL trace file back into its event dictionaries."""
+    events: List[Dict[str, object]] = []
+    with open(path, encoding="utf-8") as stream:
+        for line in stream:
+            line = line.strip()
+            if line:
+                events.append(json.loads(line))
+    return events
+
+
+def validate_trace(events: List[Dict[str, object]]) -> None:
+    """Assert the span structure is well formed (used by the tests).
+
+    Checks the header line, that every ``end`` closes the innermost open
+    ``begin`` of the same span kind and name, and that nothing stays open.
+    Raises ``ValueError`` on the first violation.
+    """
+    if not events or events[0].get("ev") != "trace" \
+            or events[0].get("schema") != TRACE_SCHEMA:
+        raise ValueError("missing or bad trace header line")
+    stack: List[Dict[str, object]] = []
+    for event in events[1:]:
+        kind = event.get("ev")
+        if kind == "begin":
+            stack.append(event)
+        elif kind == "end":
+            if not stack:
+                raise ValueError(f"end without begin: {event!r}")
+            opened = stack.pop()
+            if (opened["span"], opened["name"]) != (event["span"],
+                                                    event["name"]):
+                raise ValueError(
+                    f"mismatched span nesting: {opened!r} vs {event!r}")
+            if event.get("vt", 0.0) < opened.get("vt", 0.0):
+                raise ValueError(f"span ends before it begins: {event!r}")
+        elif kind != "event":
+            raise ValueError(f"unknown event kind: {event!r}")
+    if stack:
+        raise ValueError(f"unclosed spans: {[e['name'] for e in stack]}")

@@ -112,6 +112,23 @@ class SimulatedNetwork:
         self.responses_generated = 0
         self.rewritten_responses = 0
 
+    def stats(self) -> dict:
+        """One nested view of every counter this network accumulates —
+        sends, route-cache effectiveness, rate-limiter stalls and fault
+        draws — for :func:`repro.obs.record_network`, ``metrics-out``
+        files and the CLI's fault-telemetry output.  Pure reads; calling
+        it never perturbs the hot path."""
+        return {
+            "probes_sent": self.probes_sent,
+            "responses_generated": self.responses_generated,
+            "rewritten_responses": self.rewritten_responses,
+            "ratelimit": self.rate_limiter.stats(),
+            "route_cache": (self.route_cache.stats()
+                            if self.route_cache is not None else None),
+            "faults": (self.faults.stats()
+                       if self.faults is not None else None),
+        }
+
     def set_route_cache_enabled(self, enabled: bool) -> bool:
         """Enable/disable the route-cache fast path; returns the previous
         setting.  Disabling drops the cache; re-enabling builds a cold one."""
@@ -180,6 +197,8 @@ class SimulatedNetwork:
                         dst, ttl, send_time, src_port, dst_port, ipid,
                         udp_length, proto, flow, counted=True)
                 table = cache.outcome_table(dst, flow_id, parity, proto)
+            else:
+                cache.hits += 1
             self._lk = (dst, flow_id, parity, proto, table)
         outcome = table[ttl - 1]
         if outcome is None:
@@ -303,6 +322,8 @@ class SimulatedNetwork:
                 table = get_table(key)
                 if table is None:
                     table = build_table(key[0], key[1], key[2], proto)
+                else:
+                    cache.hits += 1
                 last_key = key
             outcome = table[ttl - 1]
             if outcome is None:

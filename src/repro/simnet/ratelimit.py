@@ -84,6 +84,12 @@ class IcmpRateLimiter:
         """Interfaces that exceeded the limit in at least one bin."""
         return frozenset(self._overprobed)
 
+    def stats(self) -> Dict[str, int]:
+        """Observability counters (folded into ``simnet.ratelimit.*`` by
+        :func:`repro.obs.record_network`)."""
+        return {"limit": self.limit, "dropped": self.dropped,
+                "overprobed_interfaces": len(self._overprobed)}
+
     def reset(self) -> None:
         """Clear all dynamic state (between scans).
 

@@ -207,7 +207,14 @@ class RouteCache:
         return self._topology
 
     def stats(self) -> Dict[str, int]:
-        """Cache effectiveness counters (for benchmarks and reports)."""
+        """Cache effectiveness counters (for benchmarks and reports).
+
+        ``hits``/``misses`` count at *table* granularity on the hot path:
+        a miss per outcome-table build, a hit per lookup served from an
+        already-built table.  The engines' last-key memo skips the lookup
+        entirely for back-to-back probes of one destination, so hits
+        undercount raw probes by design — the cheap path is not charged
+        for its own accounting."""
         return {"entries": len(self._entries),
                 "udp_tables": len(self.udp_tables),
                 "tcp_tables": len(self.tcp_tables),
@@ -288,6 +295,7 @@ class RouteCache:
         The equivalence tests compare both paths probe-for-probe and
         scan-for-scan.
         """
+        self.misses += 1
         tables = self.tcp_tables if proto == PROTO_TCP else self.udp_tables
         topo = self._topology
         offset = (dst >> 8) - topo.base_prefix

@@ -142,3 +142,95 @@ class TestScanOutputs:
         out = capsys.readouterr().out
         assert "Loss sweep" in out
         assert "Gap limit" in out
+
+
+class TestTelemetryFlags:
+    def test_metrics_out_and_trace(self, tmp_path, capsys):
+        metrics = tmp_path / "m.json"
+        trace = tmp_path / "t.jsonl"
+        assert main(["scan", "--prefixes", "128", "--seed", "3",
+                     "--metrics-out", str(metrics),
+                     "--trace", str(trace)]) == 0
+        out = capsys.readouterr().out
+        assert f"metrics: {metrics}" in out
+        assert f"trace: {trace}" in out
+        from repro.obs import load_snapshot, read_trace, validate_trace
+        snapshot = load_snapshot(str(metrics))
+        assert snapshot["counters"]["scan.probes.total"] > 0
+        assert snapshot["counters"]["simnet.probes_sent"] > 0
+        assert "written_unix" in snapshot["wall"]
+        events = read_trace(str(trace))
+        validate_trace(events)
+        assert any(e.get("span") == "round" for e in events)
+
+    def test_same_seed_metrics_byte_identical(self, tmp_path, capsys):
+        import json as _json
+        from repro.obs import deterministic_snapshot, load_snapshot
+
+        paths = [tmp_path / "a.json", tmp_path / "b.json"]
+        for path in paths:
+            assert main(["scan", "--prefixes", "128", "--seed", "3",
+                         "--metrics-out", str(path)]) == 0
+            capsys.readouterr()
+        views = [_json.dumps(deterministic_snapshot(load_snapshot(str(p))),
+                             sort_keys=True)
+                 for p in paths]
+        assert views[0] == views[1]
+
+    def test_progress_goes_to_stderr(self, capsys):
+        assert main(["scan", "--prefixes", "128", "--seed", "3",
+                     "--progress", "5"]) == 0
+        captured = capsys.readouterr()
+        assert "[progress] t=" in captured.err
+        assert "[progress]" not in captured.out
+
+    def test_progress_rejects_zero_interval(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["scan", "--prefixes", "128", "--progress", "0"])
+
+    def test_loss_run_prints_cache_and_fault_counters(self, capsys):
+        assert main(["scan", "--prefixes", "128", "--seed", "3",
+                     "--loss", "0.05", "--fault-seed", "7"]) == 0
+        out = capsys.readouterr().out
+        assert "cache: hits=" in out
+        assert "faults: probes_lost=" in out
+
+    def test_loss_json_includes_simnet_columns(self, capsys):
+        assert main(["scan", "--prefixes", "128", "--seed", "3",
+                     "--loss", "0.05", "--fault-seed", "7", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert "cache_hits" in payload
+        assert "probes_lost" in payload
+
+    def test_plain_json_has_no_simnet_columns(self, capsys):
+        """Without fault flags the JSON row keeps its pre-telemetry shape."""
+        assert main(["scan", "--prefixes", "128", "--seed", "3",
+                     "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert "cache_hits" not in payload
+        assert "probes_lost" not in payload
+
+
+class TestMetricsReportCommand:
+    def _write(self, tmp_path, name, seed):
+        path = tmp_path / name
+        assert main(["scan", "--prefixes", "128", "--seed", str(seed),
+                     "--metrics-out", str(path)]) == 0
+        return str(path)
+
+    def test_summary(self, tmp_path, capsys):
+        path = self._write(tmp_path, "m.json", 3)
+        capsys.readouterr()
+        assert main(["metrics-report", path]) == 0
+        out = capsys.readouterr().out
+        assert "snapshot summary" in out
+        assert "scan.probes.total" in out
+
+    def test_diff(self, tmp_path, capsys):
+        a = self._write(tmp_path, "a.json", 3)
+        b = self._write(tmp_path, "b.json", 4)
+        capsys.readouterr()
+        assert main(["metrics-report", a, b, "--changed-only"]) == 0
+        out = capsys.readouterr().out
+        assert "snapshot diff" in out
+        assert "Delta" in out

@@ -1,0 +1,43 @@
+#!/usr/bin/env python
+"""Summarize one ``--metrics-out`` snapshot or diff two of them.
+
+Thin script wrapper over :func:`repro.obs.report.metrics_report`, for
+use without installing the package (CI, ad-hoc comparisons of a cached
+vs. uncached run, before/after fault-injection sweeps).
+
+Usage: python tools/metrics_report.py METRICS.json [BASELINE.json]
+                                      [--changed-only]
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+
+if __package__ in (None, ""):  # allow "python tools/metrics_report.py"
+    sys.path.insert(
+        0, str(pathlib.Path(__file__).resolve().parent.parent / "src"))
+
+from repro.obs.report import metrics_report  # noqa: E402
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Summarize one metrics snapshot or diff two")
+    parser.add_argument("metrics", metavar="FILE",
+                        help="metrics JSON written by scan --metrics-out")
+    parser.add_argument("baseline", metavar="BASELINE", nargs="?",
+                        default=None,
+                        help="second snapshot to diff against (optional)")
+    parser.add_argument("--changed-only", action="store_true",
+                        help="when diffing, show only rows whose value "
+                             "differs")
+    args = parser.parse_args(argv)
+    print(metrics_report(args.metrics, args.baseline,
+                         changed_only=args.changed_only))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
