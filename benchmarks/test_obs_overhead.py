@@ -1,0 +1,107 @@
+"""Flight-recorder overhead: events-off vs. events-on FlashRoute scans.
+
+PR 3's contract keeps the telemetry-off hot path byte-identical to the
+pre-telemetry code; this benchmark pins the *enabled* cost of the PR 4
+event stream.  It runs the same FlashRoute scan three ways — no
+telemetry, JSONL events, binary events — on the shared benchmark
+topology (``REPRO_BENCH_PREFIXES``, default 4096), takes the min of
+repeated ``time.process_time`` measurements, and regenerates
+``BENCH_obs_overhead.json`` at the repo root.
+
+Acceptance: recording every probe/response/stop event must cost less
+than 2x the events-off scan.  All passes must produce the identical
+ScanResult — the recorder observes, it never perturbs.
+"""
+
+from __future__ import annotations
+
+import gc
+import json
+import pathlib
+import time
+
+from conftest import run_once
+
+from repro.core import FlashRoute, FlashRouteConfig
+from repro.core.output import result_to_dict
+from repro.experiments.common import bench_topology
+from repro.obs import EventRecorder, Telemetry
+from repro.simnet import SimulatedNetwork
+
+REPORT_NAME = "BENCH_obs_overhead.json"
+_REPEATS = 3
+
+
+def _time_scan(topology, events_path=None):
+    telemetry = None
+    if events_path is not None:
+        telemetry = Telemetry(events=EventRecorder(path=str(events_path)))
+    network = SimulatedNetwork(topology)
+    config = FlashRouteConfig(seed=1)
+    gc.collect()
+    gc.disable()
+    try:
+        start = time.process_time()
+        result = FlashRoute(config, telemetry=telemetry).scan(network)
+        elapsed = time.process_time() - start
+    finally:
+        gc.enable()
+    events_recorded = 0
+    if telemetry is not None:
+        events_recorded = telemetry.events.events_recorded
+        telemetry.close()
+    return elapsed, result, events_recorded
+
+
+def run_overhead_benchmark(tmp_path):
+    topology = bench_topology()
+    passes = [
+        ("events_off", None),
+        ("events_jsonl", tmp_path / "bench_events.jsonl"),
+        ("events_binary", tmp_path / "bench_events.bin"),
+    ]
+    best = {}
+    results = {}
+    recorded = {}
+    for _ in range(_REPEATS):
+        # Interleave so every pass samples the same machine-speed windows.
+        for label, path in passes:
+            elapsed, result, count = _time_scan(topology, path)
+            if label not in best or elapsed < best[label]:
+                best[label] = elapsed
+            results[label] = result_to_dict(result)
+            recorded[label] = count
+
+    baseline = best["events_off"]
+    report = {
+        "benchmark": "obs_overhead",
+        "topology": {"num_prefixes": topology.num_prefixes,
+                     "seed": topology.config.seed},
+        "events_recorded": recorded["events_jsonl"],
+        "passes": {label: {"seconds": round(best[label], 4)}
+                   for label, _ in passes},
+        "overhead": {
+            "jsonl_vs_off": round(best["events_jsonl"] / baseline, 3),
+            "binary_vs_off": round(best["events_binary"] / baseline, 3),
+        },
+    }
+    return report, results
+
+
+def test_obs_overhead_report(benchmark, save_result, tmp_path):
+    report, results = run_once(benchmark, run_overhead_benchmark, tmp_path)
+
+    # The recorder observes without perturbing: identical ScanResults.
+    assert results["events_jsonl"] == results["events_off"]
+    assert results["events_binary"] == results["events_off"]
+    assert report["events_recorded"] > 0
+
+    path = (pathlib.Path(__file__).resolve().parent.parent / REPORT_NAME)
+    path.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n",
+                    encoding="utf-8")
+    save_result("obs_overhead",
+                json.dumps(report["overhead"], sort_keys=True))
+
+    # Acceptance: events-on under 2x events-off, both encodings.
+    assert report["overhead"]["jsonl_vs_off"] < 2.0, report["overhead"]
+    assert report["overhead"]["binary_vs_off"] < 2.0, report["overhead"]

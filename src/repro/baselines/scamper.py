@@ -81,6 +81,8 @@ class Scamper:
                  telemetry=None) -> None:
         self.config = config if config is not None else ScamperConfig()
         self.telemetry = telemetry
+        self._reg = telemetry.registry if telemetry is not None else None
+        self._events = telemetry.events if telemetry is not None else None
 
     def scan(self, network: SimulatedNetwork,
              targets: Optional[Dict[int, int]] = None,
@@ -102,6 +104,8 @@ class Scamper:
         tracer = (telemetry.tracer if telemetry is not None
                   and telemetry.tracer.enabled else None)
         progress = telemetry.progress if telemetry is not None else None
+        self._reg = telemetry.registry if telemetry is not None else None
+        self._events = telemetry.events if telemetry is not None else None
         if tracer is not None:
             tracer.begin("scan", tool_name, clock.now,
                          targets=len(targets), rate_pps=rate)
@@ -141,16 +145,32 @@ class Scamper:
         batch entry point is used with single-probe bursts: same fast path,
         no reordering of the decision loop.
         """
-        marking = encode_probe(dst, ttl, clock.now)
+        send_vt = clock.now
+        marking = encode_probe(dst, ttl, send_vt)
         response = network.send_probes(
-            [(dst, ttl, clock.now, marking.src_port, marking.ipid,
+            [(dst, ttl, send_vt, marking.src_port, marking.ipid,
               marking.udp_length)])[0]
         result.probes_sent += 1
         result.ttl_probe_histogram[ttl] += 1
+        events = self._events
+        if events is not None:
+            events.probe_sent(send_vt, dst >> 8, ttl, dst,
+                              marking.src_port, "trace")
         clock.advance(send_gap)
         if response is not None:
             result.responses += 1
             result.response_kinds[response.kind.value] += 1
+            rtt = (response.arrival_time - send_vt) * 1000.0
+            if self._reg is not None:
+                self._reg.observe("scan.rtt_ms", rtt)
+            if events is not None:
+                dist = None
+                if response.kind.is_unreachable \
+                        and response.responder == dst:
+                    dist = distance_from_unreachable(response, ttl)
+                events.response(response.arrival_time, dst >> 8, ttl,
+                                response.responder, response.kind.value,
+                                rtt=rtt, dist=dist)
             dup = response.dup
             if dup is not None:
                 # Synchronous receive loop: account the injected duplicate
@@ -158,6 +178,14 @@ class Scamper:
                 result.responses += 1
                 result.duplicate_responses += 1
                 result.response_kinds[dup.kind.value] += 1
+                if self._reg is not None:
+                    self._reg.observe("scan.rtt_ms",
+                                      (dup.arrival_time - send_vt) * 1000.0)
+                if events is not None:
+                    events.response(dup.arrival_time, dst >> 8, ttl,
+                                    dup.responder, dup.kind.value,
+                                    rtt=(dup.arrival_time - send_vt)
+                                    * 1000.0, dup=True)
         return response
 
     def _trace_one(self, network: SimulatedNetwork, dst: int, prefix: int,
@@ -166,7 +194,9 @@ class Scamper:
         config = self.config
 
         # Forward from the split point toward the target.
+        events = self._events
         silent_streak = 0
+        reached = False
         ttl = config.first_ttl
         while ttl <= config.max_ttl and silent_streak < config.gap_limit:
             response = self._probe(network, dst, ttl, clock, send_gap, result)
@@ -181,17 +211,28 @@ class Scamper:
                     distance = distance_from_unreachable(response, ttl)
                     if distance is not None:
                         result.record_destination(prefix, distance)
+                reached = True
                 break
             ttl += 1
+        if events is not None:
+            if reached:
+                events.stop_decision(clock.now, prefix, "dest_reached", ttl)
+            elif silent_streak >= config.gap_limit:
+                events.stop_decision(clock.now, prefix, "gap_limit", ttl - 1)
+            else:
+                events.stop_decision(clock.now, prefix, "max_ttl",
+                                     config.max_ttl)
 
         # Backward from the split point toward the vantage point, with
         # Scamper's empirically observed redundancy-elimination behaviour.
         low, high = config.no_stop_window
         lag_remaining: Optional[int] = None
+        stopped_at: Optional[int] = None
         ttl = config.first_ttl - 1
         while ttl >= 1:
             if lag_remaining is not None:
                 if lag_remaining == 0:
+                    stopped_at = ttl
                     break
                 lag_remaining -= 1
             response = self._probe(network, dst, ttl, clock, send_gap, result)
@@ -202,6 +243,7 @@ class Scamper:
                     stop_set.add(response.responder)
                     if hit:
                         if ttl <= low:
+                            stopped_at = ttl
                             break
                         if ttl > high and lag_remaining is None:
                             lag_remaining = config.stop_lag
@@ -211,6 +253,12 @@ class Scamper:
                         if distance is not None:
                             result.record_destination(prefix, distance)
             ttl -= 1
+        if events is not None and config.first_ttl > 1:
+            if stopped_at is not None:
+                events.stop_decision(clock.now, prefix, "stop_set",
+                                     stopped_at)
+            else:
+                events.stop_decision(clock.now, prefix, "ttl1", 1)
 
 
 # --------------------------------------------------------------------- #

@@ -54,7 +54,8 @@ class ClassicTraceroute:
     def __init__(self, network: SimulatedNetwork, max_ttl: int = 32,
                  inter_probe_gap: float = 0.02,
                  stop_at_unreachable: bool = True,
-                 start_time: float = 0.0) -> None:
+                 start_time: float = 0.0,
+                 registry=None, events=None) -> None:
         if max_ttl < 1:
             raise ValueError("max_ttl must be at least 1")
         self.network = network
@@ -62,18 +63,28 @@ class ClassicTraceroute:
         self.inter_probe_gap = inter_probe_gap
         self.stop_at_unreachable = stop_at_unreachable
         self.clock = VirtualClock(start_time)
+        #: Optional observability sinks (a MetricsRegistry and an
+        #: EventRecorder); ``None`` keeps the trace loop untouched.
+        self.registry = registry
+        self.events = events
 
     def trace(self, dst: int) -> TracerouteResult:
         """Probe ``dst`` at TTL 1..max_ttl, low to high, one at a time."""
         result = TracerouteResult(dst=dst)
+        events = self.events
+        reached = False
         for ttl in range(1, self.max_ttl + 1):
-            marking = core.encode_probe(dst, ttl, self.clock.now)
+            send_vt = self.clock.now
+            marking = core.encode_probe(dst, ttl, send_vt)
             # Classic traceroute is strictly synchronous, so the batch
             # entry point carries exactly one probe per decision.
             response = self.network.send_probes(
-                [(dst, ttl, self.clock.now, marking.src_port,
+                [(dst, ttl, send_vt, marking.src_port,
                   marking.ipid, marking.udp_length)])[0]
             result.probes += 1
+            if events is not None:
+                events.probe_sent(send_vt, dst >> 8, ttl, dst,
+                                  marking.src_port, "trace")
             # Sequential semantics: wait out the round trip (or the pacing
             # gap, whichever is longer) before the next hop.
             if response is not None:
@@ -82,11 +93,25 @@ class ClassicTraceroute:
             if response is None:
                 continue
             result.responses += 1
+            rtt = (response.arrival_time - send_vt) * 1000.0
+            if self.registry is not None:
+                self.registry.observe("scan.rtt_ms", rtt)
             if response.dup is not None:
                 # Synchronous receive: the injected duplicate arrives while
                 # waiting and is observed (and discarded) right here.
                 result.responses += 1
                 result.duplicates += 1
+                if self.registry is not None:
+                    self.registry.observe(
+                        "scan.rtt_ms",
+                        (response.dup.arrival_time - send_vt) * 1000.0)
+                if events is not None:
+                    events.response(
+                        response.dup.arrival_time, dst >> 8, ttl,
+                        response.dup.responder, response.dup.kind.value,
+                        rtt=(response.dup.arrival_time - send_vt) * 1000.0,
+                        dup=True)
+            dist = None
             if response.kind is ResponseKind.TTL_EXCEEDED:
                 result.hops[ttl] = response.responder
             elif response.kind.is_unreachable:
@@ -95,8 +120,19 @@ class ClassicTraceroute:
                     from ..net.icmp import distance_from_unreachable
                     result.residual_distance = distance_from_unreachable(
                         response, ttl)
+                    dist = result.residual_distance
                 if self.stop_at_unreachable:
-                    break
+                    reached = True
+            if events is not None:
+                events.response(response.arrival_time, dst >> 8, ttl,
+                                response.responder, response.kind.value,
+                                rtt=rtt, dist=dist)
+            if reached:
+                break
+        if events is not None:
+            events.stop_decision(self.clock.now, dst >> 8,
+                                 "dest_reached" if reached else "max_ttl",
+                                 ttl if reached else self.max_ttl)
         return result
 
     def triggering_ttl(self, dst: int) -> Optional[int]:
@@ -128,9 +164,12 @@ class TracerouteScanner:
             targets = core.random_targets(network.topology, self.seed)
         result = core.ScanResult(tool=tool_name, num_targets=len(targets))
         result.targets = dict(targets)
-        tracer = ClassicTraceroute(network, max_ttl=self.max_ttl,
-                                   inter_probe_gap=self.inter_probe_gap)
         telemetry = self.telemetry
+        tracer = ClassicTraceroute(
+            network, max_ttl=self.max_ttl,
+            inter_probe_gap=self.inter_probe_gap,
+            registry=telemetry.registry if telemetry is not None else None,
+            events=telemetry.events if telemetry is not None else None)
         span_tracer = (telemetry.tracer if telemetry is not None
                        and telemetry.tracer.enabled else None)
         progress = telemetry.progress if telemetry is not None else None

@@ -25,7 +25,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
-from ..net.icmp import IcmpResponse, ResponseKind
+from ..net.icmp import IcmpResponse, ResponseKind, distance_from_unreachable
 from ..net.packets import PROTO_TCP, PROTO_UDP, UDP_HEADER_LEN
 from ..simnet.config import scaled_probing_rate
 from ..simnet.engine import ResponseQueue, VirtualClock
@@ -131,10 +131,12 @@ class _YarrpRun:
         self.config = config
         self.network = network
         self.telemetry = telemetry
+        self._reg = telemetry.registry if telemetry is not None else None
         self._tracer = (telemetry.tracer if telemetry is not None
                         and telemetry.tracer.enabled else None)
         self._progress = (telemetry.progress if telemetry is not None
                           else None)
+        self._events = telemetry.events if telemetry is not None else None
         topology = network.topology
         self.base_prefix = topology.base_prefix
         self.num_prefixes = topology.num_prefixes
@@ -180,10 +182,11 @@ class _YarrpRun:
         last_new = self.last_new_iface_at.get(ttl, 0.0)
         return (self.clock.now - last_new) > config.neighborhood_timeout
 
-    def _send(self, dst: int, ttl: int) -> None:
-        self._send_chunk([(dst, ttl)])
+    def _send(self, dst: int, ttl: int, phase: str = "bulk") -> None:
+        self._send_chunk([(dst, ttl)], phase=phase)
 
-    def _send_chunk(self, items: List[Tuple[int, int]]) -> None:
+    def _send_chunk(self, items: List[Tuple[int, int]],
+                    phase: str = "bulk") -> None:
         """Emit ``(dst, ttl)`` probes back-to-back through ``send_probes``.
 
         Pacing, encodings and the UDP length-field failure are identical to
@@ -196,6 +199,7 @@ class _YarrpRun:
         proto = self.proto
         udp = proto == PROTO_UDP
         histogram = self.result.ttl_probe_histogram
+        events = self._events
         probes: List[Tuple[int, int, float, int, int, int]] = []
         try:
             for dst, ttl in items:
@@ -207,6 +211,9 @@ class _YarrpRun:
                     udp_length = marking.udp_length
                 probes.append((dst, ttl, now, marking.src_port, marking.ipid,
                                udp_length))
+                if events is not None:
+                    events.probe_sent(now, dst >> 8, ttl, dst,
+                                      marking.src_port, phase)
                 histogram[ttl] += 1
                 clock.advance(gap)
         finally:
@@ -226,9 +233,26 @@ class _YarrpRun:
         if response.is_duplicate:
             self.result.duplicate_responses += 1
         self.result.response_kinds[response.kind.value] += 1
+        rtt = rtt_ms(decoded, response.arrival_time)
         if self.proto == PROTO_UDP:
-            self.result.add_rtt(rtt_ms(decoded, response.arrival_time))
+            # Real Yarrp TCP mode times via the external recorder, so
+            # the result's RTT ledger stays UDP-only; the simulator's
+            # quotations make the RTT computable either way, so the
+            # histogram and events record it for both probe types.
+            self.result.add_rtt(rtt)
+        if self._reg is not None:
+            self._reg.observe("scan.rtt_ms", rtt)
         prefix = self.base_prefix + offset
+        if self._events is not None:
+            dist = None
+            if response.kind.is_unreachable \
+                    and response.responder == decoded.dst:
+                dist = distance_from_unreachable(response,
+                                                 decoded.initial_ttl)
+            self._events.response(
+                response.arrival_time, prefix, decoded.initial_ttl,
+                response.responder, response.kind.value, rtt=rtt,
+                dist=dist, dup=response.is_duplicate)
         config = self.config
 
         if response.kind is ResponseKind.TTL_EXCEEDED:
@@ -251,7 +275,6 @@ class _YarrpRun:
 
         if response.kind.is_unreachable:
             if response.responder == decoded.dst:
-                from ..net.icmp import distance_from_unreachable
                 distance = distance_from_unreachable(response,
                                                      decoded.initial_ttl)
                 if distance is not None:
@@ -300,7 +323,7 @@ class _YarrpRun:
             self._drain(self.clock.now)
             while self.fill_backlog:
                 fill_dst, fill_ttl = self.fill_backlog.pop()
-                self._send(fill_dst, fill_ttl)
+                self._send(fill_dst, fill_ttl, phase="fill")
                 self._drain(self.clock.now)
             index, ttl_index = divmod(value, config.bulk_ttl)
             ttl = ttl_index + 1
@@ -318,7 +341,7 @@ class _YarrpRun:
                 break
             while self.fill_backlog:
                 fill_dst, fill_ttl = self.fill_backlog.pop()
-                self._send(fill_dst, fill_ttl)
+                self._send(fill_dst, fill_ttl, phase="fill")
         if tracer is not None:
             tracer.end("phase", "bulk+fill", self.clock.now,
                        probes=self.result.probes_sent,

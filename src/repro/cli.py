@@ -6,6 +6,9 @@ Subcommands:
   scan summary (optionally JSON).
 * ``experiment`` — regenerate one of the paper's tables/figures.
 * ``list`` — list available experiments.
+* ``metrics-report`` — summarize or diff ``--metrics-out`` snapshots.
+* ``scan-diff`` — join two scans (``--events`` logs or ``--output``
+  results) per prefix and attribute every divergence to a cause.
 """
 
 from __future__ import annotations
@@ -114,6 +117,17 @@ def _probability(text: str) -> float:
     return value
 
 
+def _fraction(text: str) -> float:
+    try:
+        value = float(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"{text!r} is not a number")
+    if not 0.0 <= value <= 1.0:
+        raise argparse.ArgumentTypeError(
+            f"must be a fraction in [0, 1], got {value}")
+    return value
+
+
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="flashroute-sim",
@@ -161,6 +175,18 @@ def _build_parser() -> argparse.ArgumentParser:
     scan.add_argument("--trace", metavar="FILE", default=None,
                       help="write structured scan/phase/round span events "
                            "as JSONL")
+    scan.add_argument("--events", metavar="FILE", default=None,
+                      help="record probe-level flight-recorder events "
+                           "(JSONL, or length-prefixed binary when FILE "
+                           "ends in .bin); see docs/observability.md")
+    scan.add_argument("--events-sample", type=_fraction, default=1.0,
+                      metavar="FRACTION",
+                      help="record only this deterministic fraction of "
+                           "prefixes in the event log (default 1.0: all)")
+    scan.add_argument("--events-ring", type=_positive_int, default=None,
+                      metavar="N",
+                      help="keep only the last N events (bounded ring "
+                           "buffer, written at scan end)")
     scan.add_argument("--progress", nargs="?", const=1.0,
                       type=_positive_float, default=None,
                       metavar="SECONDS",
@@ -186,6 +212,27 @@ def _build_parser() -> argparse.ArgumentParser:
     report.add_argument("--changed-only", action="store_true",
                         help="when diffing, show only rows whose value "
                              "differs")
+
+    diff = sub.add_parser(
+        "scan-diff",
+        help="join two scans (event logs or --output result files) per "
+             "prefix and attribute every divergence to a cause")
+    diff.add_argument("a", metavar="A",
+                      help="first input: scan --events log or --output "
+                           "result JSON")
+    diff.add_argument("b", metavar="B",
+                      help="second input (the faulted run, when diffing "
+                           "clean vs faulted)")
+    diff.add_argument("--loss", type=_probability, default=0.0,
+                      help="fault model of run B: per-probe/per-response "
+                           "loss probability (as passed to scan --loss)")
+    diff.add_argument("--blackout", type=_probability, default=0.0,
+                      help="fault model of run B: blackout fraction")
+    diff.add_argument("--fault-seed", type=int, default=0,
+                      help="fault seed of run B (must match scan "
+                           "--fault-seed to attribute fault draws)")
+    diff.add_argument("--json", action="store_true",
+                      help="print divergences as JSON")
     return parser
 
 
@@ -193,12 +240,15 @@ def _build_telemetry(args: argparse.Namespace):
     """Construct the observability bundle when any telemetry flag is set;
     ``None`` otherwise so every engine stays on its zero-overhead path."""
     if (args.metrics_out is None and args.trace is None
-            and args.progress is None):
+            and args.progress is None and args.events is None):
         return None
     from .obs import Telemetry
 
     return Telemetry.create(trace_path=args.trace,
-                            progress_interval=args.progress)
+                            progress_interval=args.progress,
+                            events_path=args.events,
+                            events_sample=args.events_sample,
+                            events_ring=args.events_ring)
 
 
 def _build_scanner(args: argparse.Namespace, telemetry=None):
@@ -294,14 +344,46 @@ def _run_scan(args: argparse.Namespace) -> int:
             print(f"  metrics: {args.metrics_out}")
         if args.trace is not None:
             print(f"  trace: {args.trace}")
+        if args.events is not None:
+            print(f"  events: {args.events}")
     return 0
 
 
 def _run_metrics_report(args: argparse.Namespace) -> int:
     from .obs.report import metrics_report
 
-    print(metrics_report(args.metrics, args.baseline,
-                         changed_only=args.changed_only))
+    try:
+        report = metrics_report(args.metrics, args.baseline,
+                                changed_only=args.changed_only)
+    except (OSError, ValueError, KeyError, json.JSONDecodeError) as exc:
+        print(f"metrics-report: {exc}", file=sys.stderr)
+        return 2
+    print(report)
+    return 0
+
+
+def _run_scan_diff(args: argparse.Namespace) -> int:
+    from .obs.scandiff import (diff_views, divergences_to_json, load_view,
+                               render_scan_diff)
+
+    fault_model = None
+    if args.loss or args.blackout:
+        fault_model = FaultModel(probe_loss=args.loss,
+                                 response_loss=args.loss,
+                                 blackout_fraction=args.blackout,
+                                 seed=args.fault_seed)
+    try:
+        view_a = load_view(args.a)
+        view_b = load_view(args.b)
+        divergences = diff_views(view_a, view_b, fault_model)
+    except (OSError, ValueError, KeyError, json.JSONDecodeError) as exc:
+        print(f"scan-diff: {exc}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps(divergences_to_json(divergences), indent=2,
+                         sort_keys=True))
+    else:
+        print(render_scan_diff(view_a, view_b, divergences))
     return 0
 
 
@@ -321,6 +403,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _run_experiment(args)
     if args.command == "metrics-report":
         return _run_metrics_report(args)
+    if args.command == "scan-diff":
+        return _run_scan_diff(args)
     if args.command == "list":
         for name in sorted(_EXPERIMENTS):
             print(name)

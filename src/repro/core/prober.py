@@ -108,6 +108,7 @@ class _ScanRun:
                         and telemetry.tracer.enabled else None)
         self._progress = (telemetry.progress if telemetry is not None
                           else None)
+        self._events = telemetry.events if telemetry is not None else None
         topology = network.topology
         # Block granularity (paper §5.4): the control-state array holds one
         # DCB per /granularity block; at the default 24 a block is a /24.
@@ -208,6 +209,11 @@ class _ScanRun:
             # the main phase targets a different address in the /24, so
             # building a route-cache table for them would never pay off.
             single=is_preprobe and not self.fold_preprobe)
+        if self._events is not None:
+            self._events.probe_sent(
+                self.clock.now, dst >> self.block_shift, ttl, dst,
+                marking.src_port,
+                "preprobe" if is_preprobe else "main")
         self.result.probes_sent += 1
         if is_preprobe:
             self.result.preprobe_probes += 1
@@ -229,6 +235,8 @@ class _ScanRun:
         gap = self.send_gap
         scan_offset = self.config.scan_offset
         histogram = self.result.ttl_probe_histogram
+        events = self._events
+        block_shift = self.block_shift
         probes = []
         for dst, ttl in items:
             now = clock.now
@@ -236,6 +244,9 @@ class _ScanRun:
                                    scan_offset=scan_offset)
             probes.append((dst, ttl, now, marking.src_port, marking.ipid,
                            marking.udp_length))
+            if events is not None:
+                events.probe_sent(now, dst >> block_shift, ttl, dst,
+                                  marking.src_port, "main")
             histogram[ttl] += 1
             clock.advance(gap)
         self.result.probes_sent += len(probes)
@@ -261,7 +272,26 @@ class _ScanRun:
         if response.is_duplicate:
             self.result.duplicate_responses += 1
         self.result.response_kinds[response.kind.value] += 1
-        self.result.add_rtt(rtt_ms(decoded, response.arrival_time))
+        rtt = rtt_ms(decoded, response.arrival_time)
+        self.result.add_rtt(rtt)
+        if self._reg is not None:
+            self._reg.observe("scan.rtt_ms", rtt)
+        if self._events is not None:
+            # `pre` marks preprobe responses the engine does not fold
+            # into routes; `dist` is the distance record_destination
+            # will see, computed at the same call-site conditions.
+            pre = decoded.is_preprobe and not self.fold_preprobe
+            dist = None
+            if not pre and response.kind.is_unreachable \
+                    and response.kind is not ResponseKind.HOST_UNREACHABLE \
+                    and response.responder == decoded.dst:
+                dist = distance_from_unreachable(response,
+                                                 decoded.initial_ttl)
+            self._events.response(
+                response.arrival_time, decoded.dst >> self.block_shift,
+                decoded.initial_ttl, response.responder,
+                response.kind.value, rtt=rtt, dist=dist, pre=pre,
+                dup=response.is_duplicate)
 
         if decoded.is_preprobe:
             self._process_preprobe(response, decoded, offset)
@@ -295,17 +325,29 @@ class _ScanRun:
                     dcb.next_backward[offset] = 0
                     if self._reg is not None:
                         self._reg.inc("scan.backward_stops.ttl1")
+                    if self._events is not None:
+                        self._events.stop_decision(
+                            response.arrival_time, prefix, "ttl1", ttl)
                 elif (config.redundancy_removal
                       and response.responder in self.stop_set):
                     dcb.next_backward[offset] = 0
                     if self._reg is not None:
                         self._reg.inc("scan.backward_stops.stop_set")
+                    if self._events is not None:
+                        self._events.stop_decision(
+                            response.arrival_time, prefix, "stop_set", ttl)
             self.stop_set.add(response.responder)
             return
 
         if kind.is_unreachable:
-            if self._reg is not None and not dcb.dest_reached(offset):
-                self._reg.inc("scan.forward_stops.dest_reached")
+            if (self._reg is not None or self._events is not None) \
+                    and not dcb.dest_reached(offset):
+                if self._reg is not None:
+                    self._reg.inc("scan.forward_stops.dest_reached")
+                if self._events is not None:
+                    self._events.stop_decision(
+                        response.arrival_time, prefix, "dest_reached",
+                        decoded.initial_ttl)
             dcb.mark_dest_reached(offset)
             if kind is not ResponseKind.HOST_UNREACHABLE \
                     and response.responder == decoded.dst:
@@ -360,12 +402,21 @@ class _ScanRun:
 
     def _apply_split_points(self, outcome: PreprobeOutcome) -> None:
         gap_limit = self.config.gap_limit
+        events = self._events
         for offset, distance in outcome.measured.items():
             self.dcb.set_distance(offset, distance, predicted=False)
             self.dcb.forward_horizon[offset] = min(distance + gap_limit, 255)
+            if events is not None:
+                events.preprobe_predict(self.clock.now,
+                                        self.base_prefix + offset,
+                                        distance, "measured")
         for offset, distance in outcome.predicted.items():
             self.dcb.set_distance(offset, distance, predicted=True)
             self.dcb.forward_horizon[offset] = min(distance + gap_limit, 255)
+            if events is not None:
+                events.preprobe_predict(self.clock.now,
+                                        self.base_prefix + offset,
+                                        distance, "predicted")
         if self.fold_preprobe:
             # Preprobing was the first main round: destinations without a
             # measured distance continue downward from TTL 31 (§3.3.5).
@@ -387,16 +438,24 @@ class _ScanRun:
         """Retire a finished destination, attributing the forward-probing
         stop reason (telemetry only; removal itself is unconditional)."""
         dcb = self.dcb
-        if self._reg is not None and not dcb.dest_reached(offset):
+        if (self._reg is not None or self._events is not None) \
+                and not dcb.dest_reached(offset):
             # The forward walk ran out without an answer from the target:
             # a horizon below max_ttl means GapLimit silent hops in a row
             # cut it short (§3.4), otherwise it simply hit the TTL cap.
-            if min(dcb.forward_horizon[offset],
-                   self.config.max_ttl) < self.config.max_ttl:
-                self._reg.inc("scan.forward_stops.gap_limit")
-            else:
-                self._reg.inc("scan.forward_stops.max_ttl")
+            limit = min(dcb.forward_horizon[offset], self.config.max_ttl)
+            reason = ("gap_limit" if limit < self.config.max_ttl
+                      else "max_ttl")
+            if self._reg is not None:
+                self._reg.inc(f"scan.forward_stops.{reason}")
+            if self._events is not None:
+                self._events.stop_decision(
+                    self.clock.now, self.base_prefix + offset, reason,
+                    limit)
         dcb.remove(offset)
+        if self._events is not None:
+            self._events.dcb_release(self.clock.now,
+                                     self.base_prefix + offset)
 
     def _report_round_progress(self) -> None:
         progress = self._progress

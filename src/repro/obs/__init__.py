@@ -29,6 +29,13 @@ the same instrument panel, dependency-free:
 summarizes one metrics file or diffs two.
 """
 
+from .artifacts import ArtifactReport, detect_artifacts, record_artifacts
+from .events import (
+    EVENTS_SCHEMA,
+    EventRecorder,
+    read_events,
+    validate_events,
+)
 from .metrics import (
     DEFAULT_BUCKETS,
     METRICS_SCHEMA,
@@ -38,25 +45,44 @@ from .metrics import (
     load_snapshot,
 )
 from .progress import ProgressReporter
+from .scandiff import (
+    Divergence,
+    diff_views,
+    load_view,
+    render_scan_diff,
+    scan_diff,
+)
 from .telemetry import Telemetry, record_network, record_scan_result
 from .timing import Stopwatch
 from .trace import NULL_TRACER, NullTracer, ScanTracer, read_trace, validate_trace
 
 __all__ = [
+    "ArtifactReport",
     "DEFAULT_BUCKETS",
+    "Divergence",
+    "EVENTS_SCHEMA",
+    "EventRecorder",
     "METRICS_SCHEMA",
-    "POW2_BUCKETS",
     "MetricsRegistry",
     "NULL_TRACER",
     "NullTracer",
+    "POW2_BUCKETS",
     "ProgressReporter",
     "ScanTracer",
     "Stopwatch",
     "Telemetry",
+    "detect_artifacts",
     "deterministic_snapshot",
+    "diff_views",
     "load_snapshot",
+    "load_view",
+    "read_events",
     "read_trace",
+    "record_artifacts",
     "record_network",
     "record_scan_result",
+    "render_scan_diff",
+    "scan_diff",
+    "validate_events",
     "validate_trace",
 ]

@@ -1,0 +1,98 @@
+"""Traceroute measurement-artifact detection (loops, cycles, diamonds).
+
+Viger et al. (*Detection, Understanding, and Prevention of Traceroute
+Measurement Artifacts*) classify the recurring anomalies of traceroute
+output; this module detects the three structural ones in the routes a
+scan recorded, so their counts can ride in the metrics registry next to
+the stop-reason ledger:
+
+* **loop** — the same responder at two *adjacent* TTLs of one trace
+  (the classic effect of a routing change or an unresponsive hop being
+  bridged by its neighbour's address);
+* **cycle** — a responder reappearing at a *non-adjacent* TTL of the
+  same trace with a different responder in between (forwarding loops,
+  address rewriting);
+* **diamond** — across traces, a pair of nodes ``(u, w)`` joined by
+  two-hop paths through **two or more distinct** middle nodes
+  (per-flow path diversity: different Paris flow identifiers pinned to
+  different load-balanced branches re-converging).
+
+Detection is pure structure over ``ScanResult.routes`` — no network,
+no clock — so it runs identically on live results and on event logs
+replayed by :mod:`repro.obs.scandiff`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Set, Tuple
+
+from .metrics import MetricsRegistry
+
+
+@dataclass
+class ArtifactReport:
+    """What :func:`detect_artifacts` found, with per-instance evidence."""
+
+    #: ``(prefix, ttl)`` of the first hop of each adjacent repetition.
+    loops: List[Tuple[int, int]] = field(default_factory=list)
+    #: ``(prefix, first_ttl, revisit_ttl)`` per non-adjacent revisit.
+    cycles: List[Tuple[int, int, int]] = field(default_factory=list)
+    #: ``(u, w) -> sorted distinct middle nodes`` for pairs with >= 2.
+    diamonds: Dict[Tuple[int, int], List[int]] = field(default_factory=dict)
+
+    @property
+    def loop_count(self) -> int:
+        return len(self.loops)
+
+    @property
+    def cycle_count(self) -> int:
+        return len(self.cycles)
+
+    @property
+    def diamond_count(self) -> int:
+        return len(self.diamonds)
+
+    def empty(self) -> bool:
+        return not (self.loops or self.cycles or self.diamonds)
+
+
+def detect_artifacts(routes: Mapping[int, Mapping[int, int]]) -> ArtifactReport:
+    """Find loops, cycles and diamonds in per-prefix ``{ttl: responder}``
+    routes (the :attr:`ScanResult.routes <repro.core.results.ScanResult>`
+    shape).  Deterministic: evidence lists are sorted."""
+    report = ArtifactReport()
+    # (u, w) -> middle nodes seen on recorded u -> v -> w 2-hop paths.
+    mids: Dict[Tuple[int, int], Set[int]] = {}
+    for prefix in sorted(routes):
+        hops = routes[prefix]
+        ttls = sorted(hops)
+        seen_at: Dict[int, int] = {}
+        for i, ttl in enumerate(ttls):
+            responder = hops[ttl]
+            last = seen_at.get(responder)
+            if last is not None:
+                if ttl == last + 1:
+                    report.loops.append((prefix, last))
+                else:
+                    report.cycles.append((prefix, last, ttl))
+            seen_at[responder] = ttl
+            # 2-hop windows use *consecutive TTLs* only — a hole between
+            # hops means the middle node is unknown, not absent.
+            if i >= 2 and ttls[i - 1] == ttl - 1 and ttls[i - 2] == ttl - 2:
+                u, v, w = hops[ttl - 2], hops[ttl - 1], responder
+                if u != v and v != w:
+                    mids.setdefault((u, w), set()).add(v)
+    for pair in sorted(mids):
+        middles = mids[pair]
+        if len(middles) >= 2:
+            report.diamonds[pair] = sorted(middles)
+    return report
+
+
+def record_artifacts(registry: MetricsRegistry,
+                     report: ArtifactReport) -> None:
+    """Fold an artifact report into ``scan.artifacts.*`` counters."""
+    registry.inc("scan.artifacts.loops", report.loop_count)
+    registry.inc("scan.artifacts.cycles", report.cycle_count)
+    registry.inc("scan.artifacts.diamonds", report.diamond_count)

@@ -26,36 +26,49 @@ from __future__ import annotations
 
 from typing import Optional, TextIO
 
+from .artifacts import detect_artifacts, record_artifacts
+from .events import EventRecorder
 from .metrics import MetricsRegistry, POW2_BUCKETS
 from .progress import ProgressReporter
 from .trace import NULL_TRACER, ScanTracer
 
 
 class Telemetry:
-    """Registry + tracer + progress, handed to a scanner as one bundle."""
+    """Registry + tracer + progress + event recorder, handed to a scanner
+    as one bundle.  ``events`` is the probe-level flight recorder
+    (:class:`~repro.obs.events.EventRecorder`); ``None`` — the default —
+    keeps engine hot paths on their pre-recorder code."""
 
-    __slots__ = ("registry", "tracer", "progress")
+    __slots__ = ("registry", "tracer", "progress", "events")
 
     def __init__(self, registry: Optional[MetricsRegistry] = None,
                  tracer=None,
-                 progress: Optional[ProgressReporter] = None) -> None:
+                 progress: Optional[ProgressReporter] = None,
+                 events: Optional[EventRecorder] = None) -> None:
         self.registry = registry if registry is not None else MetricsRegistry()
         self.tracer = tracer if tracer is not None else NULL_TRACER
         self.progress = progress
+        self.events = events
 
     @classmethod
     def create(cls, trace_path: Optional[str] = None,
                progress_interval: Optional[float] = None,
-               progress_stream: Optional[TextIO] = None) -> "Telemetry":
+               progress_stream: Optional[TextIO] = None,
+               events_path: Optional[str] = None,
+               events_sample: float = 1.0,
+               events_ring: Optional[int] = None) -> "Telemetry":
         """The CLI constructor: a fresh registry, a file tracer when a
         trace path was requested, a progress reporter when an interval
-        was."""
+        was, a flight recorder when an events path was."""
         tracer = (ScanTracer(path=trace_path)
                   if trace_path is not None else None)
         progress = (ProgressReporter(interval=progress_interval,
                                      stream=progress_stream)
                     if progress_interval is not None else None)
-        return cls(tracer=tracer, progress=progress)
+        events = (EventRecorder(path=events_path, sample=events_sample,
+                                ring=events_ring)
+                  if events_path is not None else None)
+        return cls(tracer=tracer, progress=progress, events=events)
 
     def record_result(self, result) -> None:
         record_scan_result(self.registry, result)
@@ -65,6 +78,8 @@ class Telemetry:
 
     def close(self) -> None:
         self.tracer.close()
+        if self.events is not None:
+            self.events.close()
 
 
 def record_scan_result(registry: MetricsRegistry, result) -> None:
@@ -96,6 +111,7 @@ def record_scan_result(registry: MetricsRegistry, result) -> None:
     for kind in sorted(result.response_kinds):
         registry.inc(f"scan.responses.kind.{kind}",
                      result.response_kinds[kind])
+    record_artifacts(registry, detect_artifacts(result.routes))
 
 
 def record_scan_ring(registry: MetricsRegistry, occupancy: int) -> None:

@@ -81,10 +81,29 @@ class CapturingNetwork:
         """Batched counterpart of :meth:`send_probe`.
 
         Explicit (not left to ``__getattr__``) so batched engines don't
-        bypass the sniffer; each probe goes through the capturing scalar
-        path, which is semantically identical to the inner batch path.
+        bypass the sniffer — but the probes are forwarded through the
+        inner network's *batch* path, not unrolled to scalar sends: the
+        batch path is what builds the route cache's memoized tables, so
+        unrolling would change ``simnet.cache.*`` accounting (and the
+        fault/cache columns ``--loss`` runs attach to the result) the
+        moment a pcap writer is plugged in.  Probe wire bytes are
+        written at their send times, responses at their arrivals.
         """
-        return [self.send_probe(dst, ttl, send_time, src_port,
-                                dst_port=dst_port, ipid=ipid,
-                                udp_length=udp_length, proto=proto, flow=flow)
-                for dst, ttl, send_time, src_port, ipid, udp_length in probes]
+        vantage = self._network.topology.vantage_addr
+        writer = self._writer
+        for dst, ttl, send_time, src_port, ipid, udp_length in probes:
+            probe = ProbeHeader(src=vantage, dst=dst, ttl=ttl, ipid=ipid,
+                                proto=proto, src_port=src_port,
+                                dst_port=dst_port, udp_length=udp_length)
+            writer.write(send_time, probe.pack())
+        responses = self._network.send_probes(
+            probes, dst_port=dst_port, proto=proto, flow=flow)
+        for response in responses:
+            if response is not None:
+                writer.write(response.arrival_time,
+                             response_wire_bytes(response, vantage))
+                if response.dup is not None:
+                    # Injected duplicate replies are real wire traffic too.
+                    writer.write(response.dup.arrival_time,
+                                 response_wire_bytes(response.dup, vantage))
+        return responses

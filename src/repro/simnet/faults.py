@@ -249,3 +249,31 @@ class FaultInjector:
                     key, _SALT_REORDER_DUP) * model.reorder_window
             self.reordered += 1
         return response
+
+    def explain(self, dst: int, ttl: int, send_time: float,
+                responder: Optional[int] = None) -> Optional[str]:
+        """Which fault (if any) :meth:`filter` would charge to this probe.
+
+        Replays the same stateless hash draws in the same order as
+        :meth:`filter` — ``probe_loss``, then blackout, then
+        ``response_loss`` — without touching any counter, so post-hoc
+        tools (``scan-diff``) can attribute a silent probe to its cause
+        from nothing but the fault seed and the probe's identity.
+        Blackouts need the ``responder`` that *would* have answered;
+        without it that check is skipped.  Returns ``"probe_loss"``,
+        ``"blackout"``, ``"response_loss"`` or ``None``.
+        """
+        model = self.model
+        key = ((dst * 0xFF51AFD7ED558CCD)
+               ^ (ttl * 0xC4CEB9FE1A85EC53)
+               ^ int(send_time * 1e9)) & _MASK64
+        if model.probe_loss and \
+                self._unit(key, _SALT_PROBE_LOSS) < model.probe_loss:
+            return "probe_loss"
+        if model.blackout_fraction and responder is not None \
+                and self._blacked_out(responder, send_time):
+            return "blackout"
+        if model.response_loss and \
+                self._unit(key, _SALT_RESPONSE_LOSS) < model.response_loss:
+            return "response_loss"
+        return None

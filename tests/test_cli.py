@@ -234,3 +234,96 @@ class TestMetricsReportCommand:
         out = capsys.readouterr().out
         assert "snapshot diff" in out
         assert "Delta" in out
+
+
+class TestEventsFlags:
+    def test_events_jsonl(self, tmp_path, capsys):
+        log = tmp_path / "ev.jsonl"
+        assert main(["scan", "--prefixes", "128", "--seed", "3",
+                     "--events", str(log)]) == 0
+        assert f"events: {log}" in capsys.readouterr().out
+        from repro.obs import read_events, validate_events
+        events = read_events(str(log))
+        validate_events(events)
+        assert any(e.get("ev") == "probe_sent" for e in events)
+
+    def test_events_binary(self, tmp_path, capsys):
+        log = tmp_path / "ev.bin"
+        assert main(["scan", "--prefixes", "128", "--seed", "3",
+                     "--events", str(log)]) == 0
+        capsys.readouterr()
+        from repro.obs.events import BINARY_MAGIC
+        assert log.read_bytes().startswith(BINARY_MAGIC)
+
+    @pytest.mark.parametrize("argv", [
+        ["scan", "--prefixes", "128", "--events-sample", "1.5"],
+        ["scan", "--prefixes", "128", "--events-sample", "-0.1"],
+        ["scan", "--prefixes", "128", "--events-ring", "0"],
+    ])
+    def test_rejects_invalid_event_knobs(self, capsys, argv):
+        with pytest.raises(SystemExit):
+            main(argv)
+        assert "error" in capsys.readouterr().err
+
+
+class TestComposedOutputs:
+    def test_pcap_trace_metrics_events_compose(self, tmp_path, capsys):
+        """One scan may emit pcap+trace+metrics+events without changing
+        the ScanResult — including simnet cache counters under --loss."""
+        base = ["scan", "--prefixes", "128", "--seed", "3",
+                "--loss", "0.05", "--fault-seed", "7", "--json"]
+        assert main(base) == 0
+        bare = json.loads(capsys.readouterr().out)
+
+        pcap = tmp_path / "s.pcap"
+        trace = tmp_path / "t.jsonl"
+        metrics = tmp_path / "m.json"
+        events = tmp_path / "e.jsonl"
+        assert main(base + ["--pcap", str(pcap), "--trace", str(trace),
+                            "--metrics-out", str(metrics),
+                            "--events", str(events)]) == 0
+        full = json.loads(capsys.readouterr().out)
+
+        assert full == bare
+        for path in (pcap, trace, metrics, events):
+            assert path.stat().st_size > 0
+
+
+class TestScanDiffCommand:
+    def _events(self, tmp_path, name, extra=()):
+        path = tmp_path / name
+        assert main(["scan", "--prefixes", "128", "--seed", "3",
+                     "--events", str(path), *extra]) == 0
+        return str(path)
+
+    def test_clean_vs_clean(self, tmp_path, capsys):
+        a = self._events(tmp_path, "a.jsonl")
+        b = self._events(tmp_path, "b.jsonl")
+        capsys.readouterr()
+        assert main(["scan-diff", a, b]) == 0
+        assert "no divergences" in capsys.readouterr().out
+
+    def test_clean_vs_lossy_attributes_causes(self, tmp_path, capsys):
+        a = self._events(tmp_path, "a.jsonl")
+        b = self._events(tmp_path, "b.jsonl",
+                         ["--loss", "0.02", "--fault-seed", "11"])
+        capsys.readouterr()
+        assert main(["scan-diff", a, b, "--loss", "0.02",
+                     "--fault-seed", "11", "--json"]) == 0
+        rows = json.loads(capsys.readouterr().out)
+        assert rows
+        assert all(r["cause"] != "unattributed" for r in rows)
+
+    def test_malformed_input_exits_2(self, tmp_path, capsys):
+        junk = tmp_path / "junk.jsonl"
+        junk.write_text("not an event log\n")
+        good = self._events(tmp_path, "a.jsonl")
+        capsys.readouterr()
+        assert main(["scan-diff", str(junk), good]) == 2
+        assert "scan-diff:" in capsys.readouterr().err
+
+    def test_metrics_report_malformed_exits_2(self, tmp_path, capsys):
+        junk = tmp_path / "junk.json"
+        junk.write_text("{\"not\": \"a snapshot\"}")
+        assert main(["metrics-report", str(junk)]) == 2
+        assert "metrics-report:" in capsys.readouterr().err

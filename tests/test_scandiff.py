@@ -1,0 +1,213 @@
+"""Scan diffing (repro.obs.scandiff) and traceroute-artifact detection
+(repro.obs.artifacts): deterministic cause attribution for clean vs
+faulted runs, result-file mode, and the loop/cycle/diamond detectors."""
+
+import json
+
+import pytest
+
+from repro.core import FlashRoute, FlashRouteConfig
+from repro.core.output import save_json
+from repro.obs import (
+    ArtifactReport,
+    EventRecorder,
+    MetricsRegistry,
+    Telemetry,
+    detect_artifacts,
+    read_events,
+    record_artifacts,
+)
+from repro.obs.scandiff import (
+    CAUSES,
+    cause_counts,
+    diff_views,
+    load_view,
+    render_scan_diff,
+    view_from_events,
+)
+from repro.simnet import (
+    FaultModel,
+    SimulatedNetwork,
+    Topology,
+    TopologyConfig,
+)
+
+CFG = TopologyConfig(num_prefixes=96, seed=13)
+LOSS = 0.03
+FAULT_SEED = 7
+
+
+@pytest.fixture(scope="module")
+def topology():
+    return Topology(CFG)
+
+
+def run_scan(topology, events_path=None, faults=None, seed=1):
+    telemetry = None
+    if events_path is not None:
+        telemetry = Telemetry(events=EventRecorder(path=str(events_path)))
+    network = SimulatedNetwork(topology, faults=faults)
+    config = FlashRouteConfig(split_ttl=16, gap_limit=5, seed=seed)
+    result = FlashRoute(config, telemetry=telemetry).scan(network)
+    if telemetry is not None:
+        telemetry.close()
+    return result
+
+
+@pytest.fixture(scope="module")
+def clean_log(topology, tmp_path_factory):
+    path = tmp_path_factory.mktemp("scandiff") / "clean.jsonl"
+    result = run_scan(topology, events_path=path)
+    return path, result
+
+
+@pytest.fixture(scope="module")
+def lossy_log(topology, tmp_path_factory):
+    path = tmp_path_factory.mktemp("scandiff") / "lossy.jsonl"
+    faults = FaultModel.symmetric_loss(LOSS, seed=FAULT_SEED)
+    result = run_scan(topology, events_path=path, faults=faults)
+    return path, result
+
+
+# --------------------------------------------------------------------- #
+# Artifacts
+# --------------------------------------------------------------------- #
+
+class TestArtifacts:
+    def test_clean_routes_have_no_artifacts(self):
+        routes = {1: {1: 10, 2: 20, 3: 30}, 2: {1: 10, 2: 21, 3: 30}}
+        report = detect_artifacts({1: routes[1]})
+        assert report.empty()
+
+    def test_loop_adjacent_repetition(self):
+        report = detect_artifacts({5: {3: 77, 4: 77, 5: 88}})
+        assert report.loops == [(5, 3)]
+        assert not report.cycles
+
+    def test_cycle_non_adjacent_revisit(self):
+        report = detect_artifacts({5: {3: 77, 4: 88, 5: 77}})
+        assert report.cycles == [(5, 3, 5)]
+        assert not report.loops
+
+    def test_triple_repetition_counts_two_loops(self):
+        report = detect_artifacts({5: {3: 77, 4: 77, 5: 77}})
+        assert report.loops == [(5, 3), (5, 4)]
+        assert not report.cycles
+
+    def test_diamond_needs_two_distinct_middles(self):
+        routes = {1: {1: 10, 2: 20, 3: 30},
+                  2: {1: 10, 2: 21, 3: 30}}
+        report = detect_artifacts(routes)
+        assert report.diamonds == {(10, 30): [20, 21]}
+        # One middle is not a diamond.
+        assert detect_artifacts({1: routes[1]}).diamond_count == 0
+
+    def test_hole_breaks_two_hop_window(self):
+        # TTLs 1,2,4: no consecutive triple, so no diamond edges at all.
+        routes = {1: {1: 10, 2: 20, 4: 30},
+                  2: {1: 10, 2: 21, 4: 30}}
+        assert detect_artifacts(routes).diamond_count == 0
+
+    def test_record_artifacts_counters(self):
+        reg = MetricsRegistry()
+        report = ArtifactReport(loops=[(1, 2)], cycles=[(1, 2, 5)],
+                                diamonds={(10, 30): [20, 21]})
+        record_artifacts(reg, report)
+        assert reg.counter("scan.artifacts.loops") == 1
+        assert reg.counter("scan.artifacts.cycles") == 1
+        assert reg.counter("scan.artifacts.diamonds") == 1
+
+
+# --------------------------------------------------------------------- #
+# Diffing
+# --------------------------------------------------------------------- #
+
+class TestScanDiff:
+    def test_identical_runs_no_divergences(self, clean_log):
+        path, _ = clean_log
+        view = load_view(str(path))
+        assert diff_views(view, view) == []
+
+    def test_every_divergence_gets_concrete_cause(self, clean_log,
+                                                  lossy_log):
+        path_a, _ = clean_log
+        path_b, _ = lossy_log
+        fault_model = FaultModel.symmetric_loss(LOSS, seed=FAULT_SEED)
+        divergences = diff_views(load_view(str(path_a)),
+                                 load_view(str(path_b)), fault_model)
+        assert divergences  # 3% loss certainly diverges somewhere
+        causes = cause_counts(divergences)
+        assert set(causes) <= set(CAUSES)
+        # With both sides probe-level and the correct fault model, no
+        # divergence is left unattributed.
+        assert "unattributed" not in causes
+        # Fault-induced holes dominate a loss-only run.
+        assert causes.get("probe_loss", 0) + causes.get("response_loss", 0) > 0
+
+    def test_attribution_is_reproducible(self, clean_log, lossy_log):
+        path_a, _ = clean_log
+        path_b, _ = lossy_log
+        fault_model = FaultModel.symmetric_loss(LOSS, seed=FAULT_SEED)
+        first = diff_views(load_view(str(path_a)), load_view(str(path_b)),
+                           fault_model)
+        second = diff_views(load_view(str(path_a)), load_view(str(path_b)),
+                            fault_model)
+        assert first == second
+
+    def test_hole_attribution_matches_injector(self, clean_log, lossy_log):
+        """Every b-side hole blamed on a fault names a draw the injector
+        confirms for that exact probe."""
+        from repro.simnet.faults import FaultInjector
+        path_a, _ = clean_log
+        path_b, _ = lossy_log
+        view_a = load_view(str(path_a))
+        view_b = load_view(str(path_b))
+        fault_model = FaultModel.symmetric_loss(LOSS, seed=FAULT_SEED)
+        injector = FaultInjector(fault_model)
+        for d in diff_views(view_a, view_b, fault_model):
+            if d.side == "b" and d.cause in ("probe_loss", "response_loss"):
+                vt, dst = view_b.probes[(d.prefix, d.ttl)]
+                responder = view_a.routes[d.prefix][d.ttl]
+                assert injector.explain(dst, d.ttl, vt,
+                                        responder=responder) == d.cause
+
+    def test_result_file_mode(self, topology, tmp_path, clean_log):
+        path_a, result_a = clean_log
+        faults = FaultModel.symmetric_loss(LOSS, seed=FAULT_SEED)
+        result_b = run_scan(topology, faults=faults)
+        file_a = tmp_path / "a.json"
+        file_b = tmp_path / "b.json"
+        save_json(result_a, str(file_a))
+        save_json(result_b, str(file_b))
+        view_a = load_view(str(file_a))
+        view_b = load_view(str(file_b))
+        assert view_a.source == "result" and not view_a.has_probe_level
+        divergences = diff_views(view_a, view_b)
+        assert divergences
+        # Result files have no probe-level data: holes are detected but
+        # stay unattributed.
+        causes = cause_counts(divergences)
+        assert "unattributed" in causes
+        # Mixed mode works too: events on one side, results on the other.
+        mixed = diff_views(load_view(str(path_a)), view_b)
+        assert mixed
+
+    def test_view_reconstruction_matches_result(self, lossy_log):
+        path, result = lossy_log
+        view = view_from_events(str(path), read_events(str(path)))
+        assert view.routes == result.routes
+        assert view.dest_distance == result.dest_distance
+
+    def test_render_and_load_view_errors(self, clean_log, tmp_path):
+        path, _ = clean_log
+        view = load_view(str(path))
+        text = render_scan_diff(view, view, diff_views(view, view))
+        assert "no divergences" in text
+        junk = tmp_path / "junk.txt"
+        junk.write_text("not a log\n")
+        with pytest.raises(ValueError):
+            load_view(str(junk))
+        not_result = tmp_path / "other.json"
+        not_result.write_text(json.dumps({"hello": 1}))
+        with pytest.raises(ValueError):
+            load_view(str(not_result))

@@ -12,6 +12,7 @@ Usage: python tools/metrics_report.py METRICS.json [BASELINE.json]
 from __future__ import annotations
 
 import argparse
+import json
 import pathlib
 import sys
 
@@ -34,8 +35,13 @@ def main(argv=None) -> int:
                         help="when diffing, show only rows whose value "
                              "differs")
     args = parser.parse_args(argv)
-    print(metrics_report(args.metrics, args.baseline,
-                         changed_only=args.changed_only))
+    try:
+        report = metrics_report(args.metrics, args.baseline,
+                                changed_only=args.changed_only)
+    except (OSError, ValueError, KeyError, json.JSONDecodeError) as exc:
+        print(f"metrics-report: {exc}", file=sys.stderr)
+        return 2
+    print(report)
     return 0
 
 
