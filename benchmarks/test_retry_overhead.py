@@ -1,0 +1,106 @@
+"""Resilience overhead: retries-disabled scans vs. the seed hot path.
+
+The resilience layer's contract is that its *disabled* configuration is
+free: ``ResilienceConfig(retries=0)`` must neither change the ScanResult
+nor slow the scan measurably.  This benchmark runs the same FlashRoute
+scan three ways — no resilience, an inert config, and a retry budget of
+2 under 5% injected loss — on the shared benchmark topology
+(``REPRO_BENCH_PREFIXES``, default 4096), takes the min of repeated
+``time.process_time`` measurements, and regenerates
+``BENCH_retry_overhead.json`` at the repo root.
+
+Acceptance: the inert pass must cost less than 1.05x the seed pass and
+produce the identical ScanResult.  The retry pass is reported for
+context (its extra cost is the retransmitted probes, not bookkeeping).
+"""
+
+from __future__ import annotations
+
+import gc
+import json
+import pathlib
+import time
+
+from conftest import run_once
+
+from repro.core import FlashRoute, FlashRouteConfig
+from repro.core.output import result_to_dict
+from repro.core.resilience import ResilienceConfig
+from repro.experiments.common import bench_topology
+from repro.simnet import FaultModel, SimulatedNetwork
+
+REPORT_NAME = "BENCH_retry_overhead.json"
+_REPEATS = 3
+_LOSS = 0.05
+_FAULT_SEED = 0x10552020
+
+
+def _time_scan(topology, resilience=None, faults=None):
+    network = SimulatedNetwork(topology, faults=faults)
+    config = FlashRouteConfig(seed=1, resilience=resilience)
+    gc.collect()
+    gc.disable()
+    try:
+        start = time.process_time()
+        result = FlashRoute(config).scan(network)
+        elapsed = time.process_time() - start
+    finally:
+        gc.enable()
+    return elapsed, result
+
+
+def run_retry_overhead_benchmark():
+    topology = bench_topology()
+    lossy = FaultModel.symmetric_loss(_LOSS, seed=_FAULT_SEED)
+    passes = [
+        ("resilience_off", None, None),
+        ("retries_disabled", ResilienceConfig(retries=0), None),
+        ("retries_2_loss_5pct", ResilienceConfig(retries=2), lossy),
+    ]
+    best = {}
+    results = {}
+    for _ in range(_REPEATS):
+        # Interleave so every pass samples the same machine-speed windows.
+        for label, resilience, faults in passes:
+            elapsed, result = _time_scan(topology, resilience, faults)
+            if label not in best or elapsed < best[label]:
+                best[label] = elapsed
+            results[label] = result_to_dict(result)
+
+    baseline = best["resilience_off"]
+    report = {
+        "benchmark": "retry_overhead",
+        "topology": {"num_prefixes": topology.num_prefixes,
+                     "seed": topology.config.seed},
+        "passes": {label: {"seconds": round(best[label], 4)}
+                   for label, _, _ in passes},
+        "overhead": {
+            "disabled_vs_off": round(
+                best["retries_disabled"] / baseline, 3),
+            "retrying_vs_off": round(
+                best["retries_2_loss_5pct"] / baseline, 3),
+        },
+        "retry_pass": {
+            "loss": _LOSS,
+            "retries": 2,
+            "probes": results["retries_2_loss_5pct"]["probes_sent"],
+            "baseline_probes": results["resilience_off"]["probes_sent"],
+        },
+    }
+    return report, results
+
+
+def test_retry_overhead_report(benchmark, save_result):
+    report, results = run_once(benchmark, run_retry_overhead_benchmark)
+
+    # An inert config changes nothing: identical ScanResult.
+    assert results["retries_disabled"] == results["resilience_off"]
+
+    path = (pathlib.Path(__file__).resolve().parent.parent / REPORT_NAME)
+    path.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n",
+                    encoding="utf-8")
+    save_result("retry_overhead",
+                json.dumps(report["overhead"], sort_keys=True))
+
+    # Acceptance: retries-disabled bookkeeping under 5% of the hot path.
+    assert report["overhead"]["disabled_vs_off"] < 1.05, report["overhead"]

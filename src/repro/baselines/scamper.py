@@ -53,6 +53,12 @@ class ScamperConfig:
 
     seed: int = 1
 
+    #: Extra attempts per silent hop (real scamper's ``-q`` is attempts
+    #: per hop; the paper runs it with retries disabled to match
+    #: FlashRoute/Yarrp, which stays the default).  Each retry re-probes
+    #: the same (dst, ttl) synchronously before the trace moves on.
+    retries: int = 0
+
     def __post_init__(self) -> None:
         if not 1 <= self.first_ttl <= self.max_ttl <= 32:
             raise ValueError("need 1 <= first_ttl <= max_ttl <= 32")
@@ -61,6 +67,8 @@ class ScamperConfig:
         low, high = self.no_stop_window
         if low > high:
             raise ValueError("no_stop_window must be (low, high) with low <= high")
+        if self.retries < 0:
+            raise ValueError("retries must be non-negative")
 
     @classmethod
     def scamper_16(cls, **overrides) -> "ScamperConfig":
@@ -83,6 +91,9 @@ class Scamper:
         self.telemetry = telemetry
         self._reg = telemetry.registry if telemetry is not None else None
         self._events = telemetry.events if telemetry is not None else None
+        self._retries_sent = 0
+        self._retries_recovered = 0
+        self._retries_exhausted = 0
 
     def scan(self, network: SimulatedNetwork,
              targets: Optional[Dict[int, int]] = None,
@@ -106,6 +117,9 @@ class Scamper:
         progress = telemetry.progress if telemetry is not None else None
         self._reg = telemetry.registry if telemetry is not None else None
         self._events = telemetry.events if telemetry is not None else None
+        self._retries_sent = 0
+        self._retries_recovered = 0
+        self._retries_exhausted = 0
         if tracer is not None:
             tracer.begin("scan", tool_name, clock.now,
                          targets=len(targets), rate_pps=rate)
@@ -130,6 +144,10 @@ class Scamper:
                        probes=result.probes_sent,
                        responses=result.responses,
                        interfaces=result.interface_count())
+        if self._reg is not None and self.config.retries:
+            self._reg.inc("scan.retries.sent", self._retries_sent)
+            self._reg.inc("scan.retries.recovered", self._retries_recovered)
+            self._reg.inc("scan.retries.exhausted", self._retries_exhausted)
         if telemetry is not None:
             telemetry.record_result(result)
         return result
@@ -139,6 +157,35 @@ class Scamper:
     def _probe(self, network: SimulatedNetwork, dst: int, ttl: int,
                clock: VirtualClock, send_gap: float,
                result: ScanResult):
+        """One hop's probing: a probe plus up to ``retries`` re-sends.
+
+        Scamper waits synchronously per hop, so a silent probe is simply
+        re-sent in place (real scamper's ``-q`` attempts) before the trace
+        decides the hop is silent.  With the default budget of 0 this is
+        exactly one :meth:`_probe_once` call — byte-identical to the
+        retry-free engine.
+        """
+        response = self._probe_once(network, dst, ttl, clock, send_gap,
+                                    result)
+        if response is not None:
+            return response
+        events = self._events
+        for attempt in range(1, self.config.retries + 1):
+            self._retries_sent += 1
+            if events is not None:
+                events.retry(clock.now, dst >> 8, ttl, attempt, dst)
+            response = self._probe_once(network, dst, ttl, clock, send_gap,
+                                        result, phase="retry")
+            if response is not None:
+                self._retries_recovered += 1
+                return response
+        if self.config.retries:
+            self._retries_exhausted += 1
+        return None
+
+    def _probe_once(self, network: SimulatedNetwork, dst: int, ttl: int,
+                    clock: VirtualClock, send_gap: float,
+                    result: ScanResult, phase: str = "trace"):
         """One paced probe with synchronous response (see class docstring).
 
         Scamper decides every next probe from the previous answer, so the
@@ -155,7 +202,7 @@ class Scamper:
         events = self._events
         if events is not None:
             events.probe_sent(send_vt, dst >> 8, ttl, dst,
-                              marking.src_port, "trace")
+                              marking.src_port, phase)
         clock.advance(send_gap)
         if response is not None:
             result.responses += 1
@@ -277,5 +324,9 @@ def _build_scamper_16(options: ScannerOptions) -> Scamper:
         overrides["gap_limit"] = options.gap_limit
     if options.split_ttl is not None:
         overrides["first_ttl"] = options.split_ttl
+    if options.resilience is not None:
+        # Scamper's synchronous model has no ring to checkpoint; it
+        # honours the retry budget (real scamper's -q attempts).
+        overrides["retries"] = options.resilience.retries
     return Scamper(ScamperConfig.scamper_16(**overrides),
                    telemetry=options.telemetry)

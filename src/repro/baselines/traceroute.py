@@ -35,6 +35,13 @@ class TracerouteResult:
     responses: int = 0
     #: Injected duplicate replies observed (counted inside ``responses``).
     duplicates: int = 0
+    #: ttl -> probes sent at that hop (> 1 only when retries re-sent a
+    #: silent probe).
+    probes_per_ttl: Dict[int, int] = field(default_factory=dict)
+    #: Silent probes that a retry answered / that stayed silent through
+    #: the whole retry budget.
+    retries_recovered: int = 0
+    retries_exhausted: int = 0
 
     def max_responding_ttl(self) -> Optional[int]:
         candidates: List[int] = list(self.hops)
@@ -55,13 +62,20 @@ class ClassicTraceroute:
                  inter_probe_gap: float = 0.02,
                  stop_at_unreachable: bool = True,
                  start_time: float = 0.0,
+                 retries: int = 0,
                  registry=None, events=None) -> None:
         if max_ttl < 1:
             raise ValueError("max_ttl must be at least 1")
+        if retries < 0:
+            raise ValueError("retries must be non-negative")
         self.network = network
         self.max_ttl = max_ttl
         self.inter_probe_gap = inter_probe_gap
         self.stop_at_unreachable = stop_at_unreachable
+        #: Re-sends per silent hop before moving on (classic traceroute
+        #: sends 3 probes per hop; 0 — the default — matches the paper's
+        #: one-probe-per-hop comparison setup).
+        self.retries = retries
         self.clock = VirtualClock(start_time)
         #: Optional observability sinks (a MetricsRegistry and an
         #: EventRecorder); ``None`` keeps the trace loop untouched.
@@ -74,23 +88,36 @@ class ClassicTraceroute:
         events = self.events
         reached = False
         for ttl in range(1, self.max_ttl + 1):
-            send_vt = self.clock.now
-            marking = core.encode_probe(dst, ttl, send_vt)
-            # Classic traceroute is strictly synchronous, so the batch
-            # entry point carries exactly one probe per decision.
-            response = self.network.send_probes(
-                [(dst, ttl, send_vt, marking.src_port,
-                  marking.ipid, marking.udp_length)])[0]
-            result.probes += 1
-            if events is not None:
-                events.probe_sent(send_vt, dst >> 8, ttl, dst,
-                                  marking.src_port, "trace")
-            # Sequential semantics: wait out the round trip (or the pacing
-            # gap, whichever is longer) before the next hop.
-            if response is not None:
-                self.clock.advance_to(response.arrival_time)
-            self.clock.advance(self.inter_probe_gap)
+            response = None
+            for attempt in range(self.retries + 1):
+                send_vt = self.clock.now
+                marking = core.encode_probe(dst, ttl, send_vt)
+                # Classic traceroute is strictly synchronous, so the batch
+                # entry point carries exactly one probe per decision.
+                response = self.network.send_probes(
+                    [(dst, ttl, send_vt, marking.src_port,
+                      marking.ipid, marking.udp_length)])[0]
+                result.probes += 1
+                result.probes_per_ttl[ttl] = \
+                    result.probes_per_ttl.get(ttl, 0) + 1
+                if events is not None:
+                    events.probe_sent(send_vt, dst >> 8, ttl, dst,
+                                      marking.src_port,
+                                      "trace" if attempt == 0 else "retry")
+                    if attempt:
+                        events.retry(send_vt, dst >> 8, ttl, attempt, dst)
+                # Sequential semantics: wait out the round trip (or the
+                # pacing gap, whichever is longer) before the next hop.
+                if response is not None:
+                    self.clock.advance_to(response.arrival_time)
+                self.clock.advance(self.inter_probe_gap)
+                if response is not None:
+                    if attempt:
+                        result.retries_recovered += 1
+                    break
             if response is None:
+                if self.retries:
+                    result.retries_exhausted += 1
                 continue
             result.responses += 1
             rtt = (response.arrival_time - send_vt) * 1000.0
@@ -151,10 +178,11 @@ class TracerouteScanner:
     """
 
     def __init__(self, max_ttl: int = 32, inter_probe_gap: float = 0.02,
-                 seed: int = 1, telemetry=None) -> None:
+                 seed: int = 1, retries: int = 0, telemetry=None) -> None:
         self.max_ttl = max_ttl
         self.inter_probe_gap = inter_probe_gap
         self.seed = seed
+        self.retries = retries
         self.telemetry = telemetry
 
     def scan(self, network: SimulatedNetwork,
@@ -168,6 +196,7 @@ class TracerouteScanner:
         tracer = ClassicTraceroute(
             network, max_ttl=self.max_ttl,
             inter_probe_gap=self.inter_probe_gap,
+            retries=self.retries,
             registry=telemetry.registry if telemetry is not None else None,
             events=telemetry.events if telemetry is not None else None)
         span_tracer = (telemetry.tracer if telemetry is not None
@@ -176,13 +205,17 @@ class TracerouteScanner:
         if span_tracer is not None:
             span_tracer.begin("scan", tool_name, tracer.clock.now,
                               targets=len(targets))
+        retries_sent = retries_recovered = retries_exhausted = 0
         for prefix in sorted(targets):
             trace = tracer.trace(targets[prefix])
             result.probes_sent += trace.probes
             result.responses += trace.responses
             result.duplicate_responses += trace.duplicates
-            for ttl in range(1, trace.probes + 1):
-                result.ttl_probe_histogram[ttl] += 1
+            retries_sent += trace.probes - len(trace.probes_per_ttl)
+            retries_recovered += trace.retries_recovered
+            retries_exhausted += trace.retries_exhausted
+            for ttl, count in trace.probes_per_ttl.items():
+                result.ttl_probe_histogram[ttl] += count
             for ttl, responder in trace.hops.items():
                 result.add_hop(prefix, ttl, responder)
             if trace.residual_distance is not None:
@@ -201,6 +234,12 @@ class TracerouteScanner:
                             probes=result.probes_sent,
                             responses=result.responses,
                             interfaces=result.interface_count())
+        if telemetry is not None and self.retries:
+            telemetry.registry.inc("scan.retries.sent", retries_sent)
+            telemetry.registry.inc("scan.retries.recovered",
+                                   retries_recovered)
+            telemetry.registry.inc("scan.retries.exhausted",
+                                   retries_exhausted)
         if telemetry is not None:
             telemetry.record_result(result)
         return result
@@ -222,4 +261,8 @@ def _build_traceroute(options: ScannerOptions) -> TracerouteScanner:
         overrides["inter_probe_gap"] = 1.0 / options.probing_rate
     if options.seed is not None:
         overrides["seed"] = options.seed
+    if options.resilience is not None:
+        # Classic traceroute re-probes each silent hop synchronously;
+        # there is no cross-trace state worth checkpointing.
+        overrides["retries"] = options.resilience.retries
     return TracerouteScanner(telemetry=options.telemetry, **overrides)

@@ -31,7 +31,11 @@ from ..simnet.config import scaled_probing_rate
 from ..simnet.engine import ResponseQueue, VirtualClock
 from ..simnet.network import SimulatedNetwork
 from ..core.encoding import decode_response, encode_probe, rtt_ms
+from ..core.output import result_from_dict, result_to_dict
 from ..core.permutation import MultiplicativeCycle
+from ..core.resilience import (AdaptiveRateController, CheckpointError,
+                               ScanInterrupted, response_from_dict,
+                               response_to_dict, write_checkpoint)
 from ..core.results import ScanResult
 from ..core.targets import random_targets
 
@@ -70,6 +74,14 @@ class YarrpConfig:
 
     probing_rate: Optional[float] = None
     seed: int = 1
+
+    #: Optional :class:`repro.core.resilience.ResilienceConfig`.  Yarrp
+    #: honours the full config: unanswered (dst, ttl) pairs are re-probed
+    #: in post-bulk retry passes, the adaptive controller re-paces the
+    #: bulk stream, and the permutation cursor makes the scan
+    #: checkpoint/resumable.  ``None`` keeps the scan byte-identical to
+    #: seed behaviour.
+    resilience: Optional[object] = None
 
     def __post_init__(self) -> None:
         if not 1 <= self.max_ttl <= 32:
@@ -122,6 +134,23 @@ class Yarrp:
                         telemetry=self.telemetry)
         return run.execute()
 
+    def resume(self, network: SimulatedNetwork, state: dict) -> ScanResult:
+        """Continue a checkpointed scan (see ``docs/robustness.md``).
+
+        ``state`` is the ``"state"`` payload of a checkpoint written by
+        this engine; the same config and an equivalent network must be
+        supplied.  The resumed scan finishes with a :class:`ScanResult`
+        byte-identical to an uninterrupted run (pinned by tests).
+        """
+        if state.get("engine") != "yarrp":
+            raise CheckpointError(
+                f"checkpoint engine {state.get('engine')!r} is not yarrp")
+        partial = result_from_dict(state["result"])
+        run = _YarrpRun(self.config, network, dict(partial.targets),
+                        partial.tool, telemetry=self.telemetry)
+        run.restore_state(state)
+        return run.execute()
+
 
 class _YarrpRun:
     def __init__(self, config: YarrpConfig, network: SimulatedNetwork,
@@ -162,6 +191,32 @@ class _YarrpRun:
             ttl: 0.0 for ttl in range(1, config.neighborhood_radius + 1)}
         self.skipped_by_protection = 0
         self._seen_ifaces: set = set()
+        # ---- resilience (see repro.core.resilience) ----
+        resil = config.resilience
+        self._resil = resil
+        budget = resil.retries if resil is not None else 0
+        self._retry_budget = budget
+        #: (dst, ttl) pairs probed / answered — only tracked when a retry
+        #: budget exists, so the default path carries no per-probe cost.
+        self._sent: Optional[set] = set() if budget > 0 else None
+        self._answered: Optional[set] = set() if budget > 0 else None
+        self._retried: set = set()
+        self._retries_sent = 0
+        self._controller = (AdaptiveRateController(self.rate, resil)
+                            if resil is not None and resil.adaptive_rate
+                            else None)
+        self._ctrl_last = 0.0
+        self._ctrl_probes = 0
+        self._ctrl_responses = 0
+        self._ctrl_drops = 0
+        #: Multiplicative-cycle group steps consumed by the bulk phase —
+        #: the resumable checkpoint cursor (see MultiplicativeCycle
+        #: .iter_steps).
+        self._steps_done = 0
+        self._boundaries = 0
+        self._ckpt_state: Optional[dict] = None
+        self._since_ckpt = 0
+        self._checkpoints_written = 0
 
     # ------------------------------------------------------------------ #
 
@@ -186,7 +241,7 @@ class _YarrpRun:
         self._send_chunk([(dst, ttl)], phase=phase)
 
     def _send_chunk(self, items: List[Tuple[int, int]],
-                    phase: str = "bulk") -> None:
+                    phase: str = "bulk", attempt: int = 0) -> None:
         """Emit ``(dst, ttl)`` probes back-to-back through ``send_probes``.
 
         Pacing, encodings and the UDP length-field failure are identical to
@@ -200,6 +255,7 @@ class _YarrpRun:
         udp = proto == PROTO_UDP
         histogram = self.result.ttl_probe_histogram
         events = self._events
+        sent = self._sent
         probes: List[Tuple[int, int, float, int, int, int]] = []
         try:
             for dst, ttl in items:
@@ -211,9 +267,13 @@ class _YarrpRun:
                     udp_length = marking.udp_length
                 probes.append((dst, ttl, now, marking.src_port, marking.ipid,
                                udp_length))
+                if sent is not None:
+                    sent.add((dst, ttl))
                 if events is not None:
                     events.probe_sent(now, dst >> 8, ttl, dst,
                                       marking.src_port, phase)
+                    if attempt:
+                        events.retry(now, dst >> 8, ttl, attempt, dst)
                 histogram[ttl] += 1
                 clock.advance(gap)
         finally:
@@ -229,6 +289,8 @@ class _YarrpRun:
         offset = (decoded.dst >> 8) - self.base_prefix
         if not 0 <= offset < self.num_prefixes:
             return
+        if self._answered is not None:
+            self._answered.add((decoded.dst, decoded.initial_ttl))
         self.result.responses += 1
         if response.is_duplicate:
             self.result.duplicate_responses += 1
@@ -301,9 +363,204 @@ class _YarrpRun:
                              probes=self.result.probes_sent,
                              responses=self.result.responses,
                              interfaces=self.result.interface_count())
+        self._fold_resilience_metrics()
         if self.telemetry is not None:
             self.telemetry.record_result(self.result)
         return self.result
+
+    def _fold_resilience_metrics(self) -> None:
+        reg = self._reg
+        if reg is None:
+            return
+        if self._sent is not None:
+            reg.inc("scan.retries.sent", self._retries_sent)
+            reg.inc("scan.retries.recovered",
+                    len(self._retried & self._answered))
+            reg.inc("scan.retries.exhausted",
+                    len(self._retried - self._answered))
+        if self._controller is not None:
+            reg.inc("scan.adaptive.backoffs", self._controller.backoffs)
+            reg.inc("scan.adaptive.recoveries", self._controller.recoveries)
+        if self._checkpoints_written:
+            reg.inc("scan.checkpoints.written", self._checkpoints_written)
+
+    # ------------------------------------------------------------------ #
+    # Resilience: rate control, retry passes, checkpoint/resume
+    # ------------------------------------------------------------------ #
+
+    def _boundary(self) -> None:
+        """One chunk boundary: the scan's analogue of FlashRoute's round
+        boundary — rate-control observation window, checkpoint capture
+        point, and interrupt hook site."""
+        self._observe_rate()
+        resil = self._resil
+        if resil is None:
+            return
+        self._boundaries += 1
+        if resil.checkpoint_path is not None:
+            self._ckpt_state = self._capture_state()
+            self._since_ckpt += 1
+            if resil.checkpoint_every \
+                    and self._since_ckpt >= resil.checkpoint_every:
+                self._write_checkpoint()
+                self._since_ckpt = 0
+        if resil.round_hook is not None:
+            resil.round_hook(self._boundaries)
+
+    def _observe_rate(self) -> None:
+        """Feed the adaptive controller one observation window.
+
+        Yarrp has no rounds, so windows close at the first chunk boundary
+        at least one virtual second after the previous window — long
+        enough that in-flight responses (RTT ≪ 1 s) cannot masquerade as
+        loss."""
+        controller = self._controller
+        if controller is None:
+            return
+        now = self.clock.now
+        if now - self._ctrl_last < 1.0:
+            return
+        probes = self.result.probes_sent
+        responses = self.result.responses
+        drops = getattr(self.network, "drop_count", 0)
+        decision = controller.observe_round(
+            probes - self._ctrl_probes,
+            responses - self._ctrl_responses,
+            drops - self._ctrl_drops)
+        self._ctrl_last = now
+        self._ctrl_probes = probes
+        self._ctrl_responses = responses
+        self._ctrl_drops = drops
+        if decision is not None:
+            reason, new_rate = decision
+            self.rate = new_rate
+            self.send_gap = 1.0 / new_rate
+            if self._events is not None:
+                self._events.rate_change(now, new_rate, reason)
+
+    def _run_retry_passes(self) -> None:
+        """Re-probe unanswered (dst, ttl) pairs, up to the retry budget.
+
+        Each pass re-sends every still-unanswered pair in sorted order
+        (deterministic), settles, and flushes any fill chains the
+        recovered hops opened.  Pairs answered after a retry count as
+        recovered; pairs silent through every pass as exhausted."""
+        if self._retry_budget == 0 or self._sent is None:
+            return
+        unanswered = sorted(self._sent - self._answered)
+        if not unanswered:
+            return
+        tracer = self._tracer
+        if tracer is not None:
+            tracer.begin("phase", "retry", self.clock.now)
+        for attempt in range(1, self._retry_budget + 1):
+            if not unanswered:
+                break
+            self._retried.update(unanswered)
+            self._retries_sent += len(unanswered)
+            for start in range(0, len(unanswered), _BULK_CHUNK):
+                self._send_chunk(unanswered[start:start + _BULK_CHUNK],
+                                 phase="retry", attempt=attempt)
+                self._drain(self.clock.now)
+            self.clock.advance(_SETTLE_SECONDS)
+            self._drain(self.clock.now)
+            while self.fill_backlog:
+                while self.fill_backlog:
+                    fill_dst, fill_ttl = self.fill_backlog.pop()
+                    self._send(fill_dst, fill_ttl, phase="fill")
+                self.clock.advance(_SETTLE_SECONDS)
+                self._drain(self.clock.now)
+            unanswered = sorted(self._sent - self._answered)
+        if tracer is not None:
+            tracer.end("phase", "retry", self.clock.now,
+                       retries=self._retries_sent,
+                       exhausted=len(unanswered))
+
+    def _capture_state(self) -> dict:
+        """Snapshot the bulk-phase scan state at a chunk boundary.
+
+        Read-only — capturing never perturbs the scan.  The permutation
+        itself is not stored: it is reconstructed from the seed, and
+        ``steps_done`` is the resumable cursor into it."""
+        now = self.clock.now
+        state = {
+            "engine": "yarrp",
+            "bulk_ttl": self.config.bulk_ttl,
+            "clock": now,
+            "rate": self.rate,
+            "steps_done": self._steps_done,
+            "boundaries": self._boundaries,
+            "result": result_to_dict(self.result),
+            "queue": [response_to_dict(r) for r in self.queue.snapshot()],
+            "sent": (sorted(self._sent)
+                     if self._sent is not None else None),
+            "answered": (sorted(self._answered)
+                         if self._answered is not None else None),
+            "fill_backlog": list(self.fill_backlog),
+            "last_new_iface_at": sorted(self.last_new_iface_at.items()),
+            "seen_ifaces": sorted(self._seen_ifaces),
+            "skipped": self.skipped_by_protection,
+            "adaptive": (self._controller.state_dict()
+                         if self._controller is not None else None),
+            "network": None,
+        }
+        export = getattr(self.network, "export_dynamic_state", None)
+        if export is not None:
+            state["network"] = export(now)
+        return state
+
+    def restore_state(self, state: dict) -> None:
+        """Load a :meth:`_capture_state` snapshot (resume path)."""
+        if state.get("engine") != "yarrp":
+            raise CheckpointError(
+                f"checkpoint engine {state.get('engine')!r} is not yarrp")
+        if state["bulk_ttl"] != self.config.bulk_ttl:
+            raise CheckpointError(
+                f"checkpoint bulk TTL {state['bulk_ttl']} does not match "
+                f"this scan's {self.config.bulk_ttl}")
+        self.clock.now = state["clock"]
+        self.rate = state["rate"]
+        self.send_gap = 1.0 / self.rate
+        self.result = result_from_dict(state["result"])
+        self._steps_done = state["steps_done"]
+        self._boundaries = state["boundaries"]
+        self.queue.load(response_from_dict(entry)
+                        for entry in state["queue"])
+        if state.get("sent") is not None and self._sent is not None:
+            self._sent.update(tuple(pair) for pair in state["sent"])
+        if state.get("answered") is not None and self._answered is not None:
+            self._answered.update(tuple(pair)
+                                  for pair in state["answered"])
+        self.fill_backlog = [(dst, ttl)
+                             for dst, ttl in state["fill_backlog"]]
+        self.last_new_iface_at = {int(ttl): when for ttl, when
+                                  in state["last_new_iface_at"]}
+        self._seen_ifaces = set(state["seen_ifaces"])
+        self.skipped_by_protection = state["skipped"]
+        if state.get("adaptive") is not None \
+                and self._controller is not None:
+            self._controller.restore_state(state["adaptive"])
+        if state.get("network") is not None:
+            restore = getattr(self.network, "restore_dynamic_state", None)
+            if restore is not None:
+                restore(state["network"])
+
+    def _write_checkpoint(self) -> str:
+        resil = self._resil
+        path = write_checkpoint(resil.checkpoint_path, "yarrp",
+                                self._ckpt_state, resil.checkpoint_meta)
+        self._checkpoints_written += 1
+        if self._events is not None:
+            self._events.checkpoint(self.clock.now,
+                                    self._ckpt_state["boundaries"])
+        return path
+
+    def _interrupt_checkpoint(self) -> Optional[str]:
+        resil = self._resil
+        if resil is None or resil.checkpoint_path is None \
+                or self._ckpt_state is None:
+            return None
+        return self._write_checkpoint()
 
     # ------------------------------------------------------------------ #
 
@@ -315,11 +572,28 @@ class _YarrpRun:
         if tracer is not None:
             tracer.begin("scan", self.result.tool, self.clock.now,
                          targets=self.result.num_targets, rate_pps=self.rate)
-        if config.fill_start is None and config.neighborhood_radius == 0:
-            return self._execute_stateless(cycle)
+        try:
+            if config.fill_start is None \
+                    and config.neighborhood_radius == 0:
+                self._run_bulk_stateless(cycle)
+            else:
+                self._run_bulk_stateful(cycle)
+        except KeyboardInterrupt:
+            path = self._interrupt_checkpoint()
+            if path is not None:
+                raise ScanInterrupted(path, self._boundaries) from None
+            raise
+        self._run_retry_passes()
+        return self._finalize()
+
+    def _run_bulk_stateful(self, cycle: MultiplicativeCycle) -> None:
+        """Bulk probing with fill mode and/or neighborhood protection."""
+        config = self.config
+        tracer = self._tracer
         if tracer is not None:
             tracer.begin("phase", "bulk+fill", self.clock.now)
-        for value in cycle:
+        processed = 0
+        for step, value in cycle.iter_steps(self._steps_done):
             self._drain(self.clock.now)
             while self.fill_backlog:
                 fill_dst, fill_ttl = self.fill_backlog.pop()
@@ -329,10 +603,14 @@ class _YarrpRun:
             ttl = ttl_index + 1
             if self._protected(ttl):
                 self.skipped_by_protection += 1
-                continue
-            dst = self.targets[self.base_prefix + self.offsets[index]]
-            self._send(dst, ttl)
-            self._report_progress()
+            else:
+                dst = self.targets[self.base_prefix + self.offsets[index]]
+                self._send(dst, ttl)
+                self._report_progress()
+            self._steps_done = step + 1
+            processed += 1
+            if processed % _BULK_CHUNK == 0:
+                self._boundary()
         # Let the tail of fill chains complete.
         while True:
             self.clock.advance(_SETTLE_SECONDS)
@@ -346,9 +624,8 @@ class _YarrpRun:
             tracer.end("phase", "bulk+fill", self.clock.now,
                        probes=self.result.probes_sent,
                        skipped=self.skipped_by_protection)
-        return self._finalize()
 
-    def _execute_stateless(self, cycle: MultiplicativeCycle) -> ScanResult:
+    def _run_bulk_stateless(self, cycle: MultiplicativeCycle) -> None:
         """The bulk phase with no fill mode and no neighborhood protection.
 
         Nothing a response does in this configuration feeds back into what
@@ -365,7 +642,7 @@ class _YarrpRun:
         if tracer is not None:
             tracer.begin("phase", "bulk", self.clock.now)
         chunk: List[Tuple[int, int]] = []
-        for value in cycle:
+        for step, value in cycle.iter_steps(self._steps_done):
             index, ttl_index = divmod(value, bulk_ttl)
             chunk.append((targets[base_prefix + offsets[index]],
                           ttl_index + 1))
@@ -374,6 +651,8 @@ class _YarrpRun:
                 self._drain(self.clock.now)
                 chunk.clear()
                 self._report_progress()
+                self._steps_done = step + 1
+                self._boundary()
         if chunk:
             self._send_chunk(chunk)
         self.clock.advance(_SETTLE_SECONDS)
@@ -381,7 +660,6 @@ class _YarrpRun:
         if tracer is not None:
             tracer.end("phase", "bulk", self.clock.now,
                        probes=self.result.probes_sent)
-        return self._finalize()
 
 
 # --------------------------------------------------------------------- #
@@ -396,6 +674,8 @@ def _yarrp_factory(variant):
         overrides = {"probing_rate": options.probing_rate}
         if options.seed is not None:
             overrides["seed"] = options.seed
+        if options.resilience is not None:
+            overrides["resilience"] = options.resilience
         return Yarrp(variant(**overrides), telemetry=options.telemetry)
     return build
 

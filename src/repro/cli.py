@@ -15,6 +15,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from typing import Callable, Dict, List, Optional
 
@@ -29,6 +30,7 @@ from .experiments import (
     run_fig6,
     run_fig7,
     run_fig8,
+    run_loss_recovery,
     run_loss_sweep,
     run_neighborhood_protection,
     run_proximity_span_ablation,
@@ -65,6 +67,7 @@ _EXPERIMENTS: Dict[str, Callable[[ExperimentContext], object]] = {
     "ablation-pacing": run_round_pacing_ablation,
     "holes": run_route_holes,
     "loss-sweep": run_loss_sweep,
+    "loss-recovery": run_loss_recovery,
     "future-granularity": run_granularity_future_work,
 }
 
@@ -92,6 +95,17 @@ def _positive_float(text: str) -> float:
         raise argparse.ArgumentTypeError(f"{text!r} is not a number")
     if value <= 0:
         raise argparse.ArgumentTypeError(f"must be positive, got {value}")
+    return value
+
+
+def _nonneg_int(text: str) -> int:
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"{text!r} is not an integer")
+    if value < 0:
+        raise argparse.ArgumentTypeError(
+            f"must be a non-negative integer, got {value}")
     return value
 
 
@@ -192,6 +206,35 @@ def _build_parser() -> argparse.ArgumentParser:
                       metavar="SECONDS",
                       help="print progress snapshots to stderr every "
                            "SECONDS of virtual scan time (default 1.0)")
+    scan.add_argument("--retries", type=_nonneg_int, default=0,
+                      metavar="N",
+                      help="re-probe each unanswered (prefix, ttl) up to N "
+                           "times (default 0: byte-identical to the "
+                           "retry-free engines; see docs/robustness.md)")
+    scan.add_argument("--adaptive-rate",
+                      action=argparse.BooleanOptionalAction, default=False,
+                      help="back the probing rate off multiplicatively "
+                           "when a round's loss or rate-limiter drops "
+                           "spike, recover additively when it clears")
+    scan.add_argument("--checkpoint", metavar="FILE", default=None,
+                      help="write a versioned scan checkpoint at round "
+                           "boundaries and on interrupt; resume with "
+                           "--resume FILE")
+    scan.add_argument("--checkpoint-every", type=_positive_int, default=1,
+                      metavar="K",
+                      help="write the checkpoint file every K rounds "
+                           "(default 1; the latest round boundary is "
+                           "always flushed on interrupt)")
+    scan.add_argument("--resume", metavar="FILE", default=None,
+                      help="continue a scan from a checkpoint written by "
+                           "--checkpoint (topology, tool and faults are "
+                           "rebuilt from the file; other scan flags "
+                           "except telemetry ones are ignored)")
+    scan.add_argument("--interrupt-after-round", type=_positive_int,
+                      default=None, metavar="K",
+                      help="deterministically interrupt the scan at round "
+                           "boundary K, as if ^C were pressed (testing "
+                           "checkpoint/resume)")
 
     experiment = sub.add_parser("experiment",
                                 help="regenerate a paper table/figure")
@@ -251,13 +294,54 @@ def _build_telemetry(args: argparse.Namespace):
                             events_ring=args.events_ring)
 
 
+#: Scan flags a checkpoint's invocation record captures — everything
+#: needed to rebuild the same topology, faults and scanner on --resume.
+_INVOCATION_KEYS = ("tool", "prefixes", "seed", "split_ttl", "gap_limit",
+                    "preprobe", "rate", "loss", "blackout", "fault_seed",
+                    "no_route_cache", "retries", "adaptive_rate")
+
+
+def _invocation_meta(args: argparse.Namespace) -> Dict[str, object]:
+    return {key: getattr(args, key) for key in _INVOCATION_KEYS}
+
+
+def _build_resilience(args: argparse.Namespace):
+    """A ResilienceConfig when any robustness flag is set; ``None`` keeps
+    every engine on its byte-identical seed path."""
+    checkpoint_path = args.checkpoint
+    if checkpoint_path is None and args.resume is not None:
+        # Resumed scans keep checkpointing to the file they came from,
+        # so interrupt → resume chains need no extra flags.
+        checkpoint_path = args.resume
+    if not (args.retries or args.adaptive_rate or checkpoint_path
+            or args.interrupt_after_round):
+        return None
+    from .core.resilience import ResilienceConfig
+
+    hook = None
+    if args.interrupt_after_round is not None:
+        limit = args.interrupt_after_round
+
+        def hook(rounds: int) -> None:
+            if rounds >= limit:
+                raise KeyboardInterrupt
+
+    return ResilienceConfig(
+        retries=args.retries,
+        adaptive_rate=args.adaptive_rate,
+        checkpoint_path=checkpoint_path,
+        checkpoint_every=args.checkpoint_every,
+        checkpoint_meta=_invocation_meta(args),
+        round_hook=hook)
+
+
 def _build_scanner(args: argparse.Namespace, telemetry=None):
     """Resolve ``--tool`` through the scanner registry (repro.core.scanner);
     tool-specific construction lives with each tool's registration."""
     return create_scanner(args.tool, ScannerOptions(
         probing_rate=args.rate, split_ttl=args.split_ttl,
         gap_limit=args.gap_limit, preprobe=args.preprobe,
-        telemetry=telemetry))
+        telemetry=telemetry, resilience=_build_resilience(args)))
 
 
 def _scan_to_json(result: ScanResult) -> str:
@@ -281,7 +365,34 @@ def _save_output(result: ScanResult, path: str) -> None:
         raise SystemExit(f"--output must end in .json or .csv: {path!r}")
 
 
+def _load_resume_document(args: argparse.Namespace):
+    """Load ``--resume`` and replay its invocation record onto ``args``,
+    so the rest of the scan path rebuilds the identical topology, faults
+    and scanner.  Exits 2 (via SystemExit) on any unusable file."""
+    from .core.resilience import CheckpointError, load_checkpoint
+
+    try:
+        document = load_checkpoint(args.resume)
+    except (OSError, CheckpointError) as exc:
+        print(f"resume: {exc}", file=sys.stderr)
+        raise SystemExit(2)
+    invocation = document.get("invocation")
+    if not isinstance(invocation, dict) \
+            or not all(key in invocation for key in _INVOCATION_KEYS):
+        print(f"resume: {args.resume}: checkpoint carries no usable "
+              f"invocation record (written by an API caller? rebuild the "
+              f"scan in code and call the engine's resume())",
+              file=sys.stderr)
+        raise SystemExit(2)
+    for key in _INVOCATION_KEYS:
+        setattr(args, key, invocation[key])
+    return document
+
+
 def _run_scan(args: argparse.Namespace) -> int:
+    resume_document = None
+    if args.resume is not None:
+        resume_document = _load_resume_document(args)
     topology = Topology(TopologyConfig(num_prefixes=args.prefixes,
                                        seed=args.seed))
     faults = FaultModel(probe_loss=args.loss, response_loss=args.loss,
@@ -299,7 +410,34 @@ def _run_scan(args: argparse.Namespace) -> int:
     telemetry = _build_telemetry(args)
     try:
         scanner = _build_scanner(args, telemetry=telemetry)
-        result = scanner.scan(network)
+        try:
+            if resume_document is not None:
+                resume = getattr(scanner, "resume", None)
+                if resume is None:
+                    print(f"resume: tool {args.tool!r} does not support "
+                          f"checkpoint/resume", file=sys.stderr)
+                    return 2
+                from .core.resilience import CheckpointError
+
+                try:
+                    result = resume(network, resume_document["state"])
+                except CheckpointError as exc:
+                    print(f"resume: {exc}", file=sys.stderr)
+                    return 2
+            else:
+                result = scanner.scan(network)
+        except KeyboardInterrupt as exc:
+            checkpoint_path = getattr(exc, "checkpoint_path", None)
+            if checkpoint_path is not None:
+                print(f"interrupted: checkpoint written to "
+                      f"{checkpoint_path} (continue with "
+                      f"--resume {checkpoint_path})", file=sys.stderr)
+            else:
+                print("interrupted: no checkpoint (pass --checkpoint FILE "
+                      "to make scans resumable)", file=sys.stderr)
+            if telemetry is not None:
+                telemetry.close()
+            return 130
     finally:
         if pcap_handle is not None:
             pcap_handle.close()
@@ -346,6 +484,8 @@ def _run_scan(args: argparse.Namespace) -> int:
             print(f"  trace: {args.trace}")
         if args.events is not None:
             print(f"  events: {args.events}")
+        if args.checkpoint is not None and os.path.exists(args.checkpoint):
+            print(f"  checkpoint: {args.checkpoint}")
     return 0
 
 

@@ -80,6 +80,13 @@ class FlashRouteConfig:
     #: identical either way (see ``docs/simulator.md``).
     route_cache: bool = True
 
+    #: Optional :class:`repro.core.resilience.ResilienceConfig` enabling
+    #: probe retransmission, adaptive rate backoff and checkpoint/resume
+    #: (see ``docs/robustness.md``).  ``None`` — or an inert config with
+    #: the default knobs — keeps the scan byte-identical to the seed
+    #: behaviour.  Typed loosely to keep this module import-light.
+    resilience: Optional[object] = None
+
     def __post_init__(self) -> None:
         if not 1 <= self.split_ttl <= self.max_ttl:
             raise ValueError("split_ttl must be within [1, max_ttl]")

@@ -179,6 +179,45 @@ class DCBArray:
             distance_predicted=bool(flags & FLAG_DISTANCE_PREDICTED),
         )
 
+    # ------------------------------------------------------------------ #
+    # Checkpoint serialization
+    # ------------------------------------------------------------------ #
+
+    def state_dict(self) -> dict:
+        """JSON-serializable snapshot of the full control state, including
+        the ring links, for checkpoint/resume.  Byte columns travel as hex
+        strings; the link arrays as plain int lists."""
+        return {
+            "size": self.size,
+            "destination": list(self.destination),
+            "split": self.split.hex(),
+            "next_backward": self.next_backward.hex(),
+            "next_forward": self.next_forward.hex(),
+            "forward_horizon": self.forward_horizon.hex(),
+            "flags": self.flags.hex(),
+            "next_index": list(self.next_index),
+            "prev_index": list(self.prev_index),
+            "head": self._head,
+            "live": self._live,
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Restore a :meth:`state_dict` snapshot in place."""
+        if state["size"] != self.size:
+            raise ValueError(
+                f"checkpointed DCB array has {state['size']} slots, "
+                f"this scan has {self.size}")
+        self.destination = list(state["destination"])
+        self.split = bytearray.fromhex(state["split"])
+        self.next_backward = bytearray.fromhex(state["next_backward"])
+        self.next_forward = bytearray.fromhex(state["next_forward"])
+        self.forward_horizon = bytearray.fromhex(state["forward_horizon"])
+        self.flags = bytearray.fromhex(state["flags"])
+        self.next_index = array("i", state["next_index"])
+        self.prev_index = array("i", state["prev_index"])
+        self._head = state["head"]
+        self._live = state["live"]
+
     def memory_footprint(self) -> int:
         """Approximate bytes used by the control state (paper: ~900 MB for
         the full 2^24-slot array; ours scales with the scanned space)."""

@@ -148,6 +148,30 @@ class MultiplicativeCycle:
                 yield value - 1
             value = value * self.g % self.p
 
+    def value_at_step(self, steps: int) -> int:
+        """Group element after ``steps`` multiplications: O(log steps) via
+        modular exponentiation, so a checkpointed cursor resumes without
+        replaying the walk."""
+        if steps < 0:
+            raise PermutationError("steps must be non-negative")
+        return self.start * pow(self.g, steps, self.p) % self.p
+
+    def iter_steps(self, first_step: int = 0) -> Iterator[tuple]:
+        """Iterate ``(step, domain_value)`` pairs starting at ``first_step``.
+
+        ``step`` counts *group* steps (including skipped out-of-domain
+        elements), so it is the resumable cursor a checkpoint stores;
+        ``iter_steps(0)`` yields exactly the values of ``__iter__``.
+        """
+        if not 0 <= first_step <= self.p - 1:
+            raise PermutationError(
+                f"first_step must be in [0, {self.p - 1}]")
+        value = self.value_at_step(first_step)
+        for step in range(first_step, self.p - 1):
+            if value <= self.n:
+                yield step, value - 1
+            value = value * self.g % self.p
+
 
 def _prime_factors(value: int) -> List[int]:
     factors = []

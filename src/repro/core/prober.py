@@ -35,7 +35,12 @@ from ..simnet.network import SimulatedNetwork
 from .config import FlashRouteConfig, PreprobeMode
 from .dcb import DCBArray, initial_order
 from .encoding import decode_response, destination_intact, encode_probe, rtt_ms
+from .output import result_from_dict, result_to_dict as _result_to_dict
 from .preprobe import PreprobeOutcome, clamp_distance, predict_distances
+from .resilience import (AdaptiveRateController, CheckpointError,
+                         ResilienceConfig, RetryTracker, ScanInterrupted,
+                         response_from_dict, response_to_dict,
+                         write_checkpoint)
 from .results import ScanResult
 from .targets import hitlist_targets, random_targets
 
@@ -85,6 +90,28 @@ class FlashRoute:
                        stop_set, start_ttls, tool_name, excluded,
                        telemetry=self.telemetry)
         return run.execute()
+
+    def resume(self, network: SimulatedNetwork, state: dict) -> ScanResult:
+        """Continue a checkpointed scan to completion.
+
+        ``state`` is the ``"state"`` section of a checkpoint document
+        (see :func:`repro.core.resilience.load_checkpoint`).  The network
+        must be built over the same topology (and fault model) as the
+        interrupted run; the configuration must match the one the
+        checkpoint was taken under — both are recorded in the document's
+        ``invocation`` block by the CLI.  The returned ``ScanResult`` is
+        byte-identical to an uninterrupted same-seed run.
+        """
+        if state.get("engine") != "flashroute":
+            raise CheckpointError(
+                f"checkpoint was written by engine "
+                f"{state.get('engine')!r}, not flashroute")
+        partial = result_from_dict(state["result"])
+        run = _ScanRun(self.config, network, dict(partial.targets), None,
+                       None, None, partial.tool, None,
+                       telemetry=self.telemetry)
+        run.restore_state(state)
+        return run.execute(skip_preprobe=True)
 
 
 class _ScanRun:
@@ -162,6 +189,22 @@ class _ScanRun:
         self.preprobe_outcome = PreprobeOutcome()
         self.in_preprobe = False
 
+        #: Resilience layer (``docs/robustness.md``).  With ``None`` — or
+        #: an inert config — the tracker/controller handles below stay
+        #: ``None`` and every hot path is byte-identical to the seed.
+        resil: Optional[ResilienceConfig] = config.resilience
+        self._resil = resil
+        self._retry: Optional[RetryTracker] = (
+            RetryTracker(resil.retries, resil.retry_timeout)
+            if resil is not None and resil.retries > 0 else None)
+        self._controller: Optional[AdaptiveRateController] = (
+            AdaptiveRateController(self.rate, resil)
+            if resil is not None and resil.adaptive_rate else None)
+        #: Last round-boundary snapshot; what an interrupt flushes to disk.
+        self._ckpt_state: Optional[dict] = None
+        self._rounds_since_ckpt = 0
+        self._checkpoints_written = 0
+
     # ------------------------------------------------------------------ #
     # Setup
     # ------------------------------------------------------------------ #
@@ -222,14 +265,17 @@ class _ScanRun:
             self.queue.push(response)
         self.clock.advance(self.send_gap)
 
-    def _send_batch(self, items: List[Tuple[int, int]]) -> None:
+    def _send_batch(self, items: List[Tuple[int, int]],
+                    retry_attempts: Optional[Dict[int, int]] = None) -> None:
         """Emit a back-to-back burst of main-phase ``(dst, ttl)`` probes
         through ``send_probes``, pacing each at its own clock tick.
 
         The burst lies entirely between two drain points (the ring walk
         drains before every destination), so batching is observation-
         equivalent to per-probe sends: same send times, same encodings,
-        same response arrivals.
+        same response arrivals.  ``retry_attempts`` (ttl -> attempt
+        number) marks which items are retransmissions; absent items are
+        first attempts.
         """
         clock = self.clock
         gap = self.send_gap
@@ -237,6 +283,9 @@ class _ScanRun:
         histogram = self.result.ttl_probe_histogram
         events = self._events
         block_shift = self.block_shift
+        retry = self._retry
+        offset = ((items[0][0] >> block_shift) - self.base_prefix
+                  if retry is not None else -1)
         probes = []
         for dst, ttl in items:
             now = clock.now
@@ -244,9 +293,17 @@ class _ScanRun:
                                    scan_offset=scan_offset)
             probes.append((dst, ttl, now, marking.src_port, marking.ipid,
                            marking.udp_length))
+            attempt = 0
+            if retry is not None:
+                if retry_attempts is not None:
+                    attempt = retry_attempts.get(ttl, 0)
+                retry.record_sent(offset, ttl, now, attempt)
             if events is not None:
                 events.probe_sent(now, dst >> block_shift, ttl, dst,
-                                  marking.src_port, "main")
+                                  marking.src_port,
+                                  "main" if attempt == 0 else "retry")
+                if attempt:
+                    events.retry(now, dst >> block_shift, ttl, attempt, dst)
             histogram[ttl] += 1
             clock.advance(gap)
         self.result.probes_sent += len(probes)
@@ -268,6 +325,10 @@ class _ScanRun:
         offset = (decoded.dst >> self.block_shift) - self.base_prefix
         if not 0 <= offset < self.num_prefixes:
             return
+        if self._retry is not None and not decoded.is_preprobe:
+            # Any answer — original or retry, whatever its kind — settles
+            # the outstanding (destination, ttl) probe.
+            self._retry.record_response(offset, decoded.initial_ttl)
         self.result.responses += 1
         if response.is_duplicate:
             self.result.duplicate_responses += 1
@@ -427,6 +488,10 @@ class _ScanRun:
 
     def _destination_finished(self, offset: int) -> bool:
         dcb = self.dcb
+        if self._retry is not None and self._retry.has_open(offset):
+            # Outstanding (pending or re-armed) probes keep the
+            # destination in the ring until they settle or exhaust.
+            return False
         if dcb.next_backward[offset] > 0:
             return False
         if dcb.dest_reached(offset):
@@ -477,6 +542,11 @@ class _ScanRun:
         dcb = self.dcb
         reg = self._reg
         tracer = self._tracer
+        retry = self._retry
+        controller = self._controller
+        resil = self._resil
+        responses_before = 0
+        drops_before = 0
         while len(dcb) > 0:
             if self.result.rounds >= config.max_rounds:
                 self.result.aborted = True
@@ -490,12 +560,23 @@ class _ScanRun:
                 tracer.begin("round", f"round-{self.result.rounds}",
                              round_start, occupancy=occupancy)
             probes_before = self.result.probes_sent
+            if controller is not None:
+                responses_before = self.result.responses
+                drops_before = getattr(self.network, "drop_count", 0)
             for offset in dcb.iter_ring():
                 self._drain(self.clock.now)
                 if dcb.is_removed(offset):
                     continue
                 destination = dcb.destination[offset]
                 pair: List[Tuple[int, int]] = []
+                retry_attempts: Optional[Dict[int, int]] = None
+                if retry is not None:
+                    due = retry.take_due(offset)
+                    if due:
+                        # Re-armed probes lead the burst, lowest TTL
+                        # first, ahead of the round's regular pair.
+                        retry_attempts = dict(due)
+                        pair.extend((destination, ttl) for ttl, _ in due)
                 backward = dcb.next_backward[offset]
                 if backward >= 1:
                     pair.append((destination, backward))
@@ -507,19 +588,140 @@ class _ScanRun:
                         pair.append((destination, forward))
                         dcb.next_forward[offset] = forward + 1
                 if pair:
-                    self._send_batch(pair)
+                    self._send_batch(pair, retry_attempts)
                 elif self._destination_finished(offset):
                     self._remove_finished(offset)
             self.clock.advance_to(round_start + config.round_seconds)
             self._drain(self.clock.now)
+            if retry is not None:
+                retry.sweep(self.clock.now)
+            if controller is not None:
+                decision = controller.observe_round(
+                    self.result.probes_sent - probes_before,
+                    self.result.responses - responses_before,
+                    getattr(self.network, "drop_count", 0) - drops_before)
+                if decision is not None:
+                    reason, new_rate = decision
+                    self.rate = new_rate
+                    self.send_gap = 1.0 / new_rate
+                    if self._events is not None:
+                        self._events.rate_change(self.clock.now, new_rate,
+                                                 reason)
             if tracer is not None:
                 tracer.end("round", f"round-{self.result.rounds}",
                            self.clock.now,
                            probes=self.result.probes_sent - probes_before,
                            remaining=len(dcb))
             self._report_round_progress()
+            if resil is not None:
+                if resil.checkpoint_path is not None:
+                    self._ckpt_state = self._capture_state()
+                    self._rounds_since_ckpt += 1
+                    if resil.checkpoint_every \
+                            and self._rounds_since_ckpt \
+                            >= resil.checkpoint_every:
+                        self._write_checkpoint()
+                        self._rounds_since_ckpt = 0
+                if resil.round_hook is not None:
+                    resil.round_hook(self.result.rounds)
 
-    def execute(self) -> ScanResult:
+    # ------------------------------------------------------------------ #
+    # Checkpoint/resume
+    # ------------------------------------------------------------------ #
+
+    def _capture_state(self) -> dict:
+        """Snapshot the complete scan state at a round boundary.
+
+        Read-only: capturing never perturbs the scan, so enabling
+        checkpointing keeps the ScanResult byte-identical (pinned by
+        tests).  The route cache and its counters are excluded — they
+        are derived from the immutable topology and performance-only.
+        """
+        now = self.clock.now
+        state = {
+            "engine": "flashroute",
+            "granularity": self.config.granularity,
+            "clock": now,
+            "rate": self.rate,
+            "rounds_done": self.result.rounds,
+            "result": _result_to_dict(self.result),
+            "stop_set": sorted(self.stop_set),
+            "dcb": self.dcb.state_dict(),
+            "queue": [response_to_dict(r) for r in self.queue.snapshot()],
+            "retry": (self._retry.state_dict()
+                      if self._retry is not None else None),
+            "adaptive": (self._controller.state_dict()
+                         if self._controller is not None else None),
+            "network": None,
+        }
+        export = getattr(self.network, "export_dynamic_state", None)
+        if export is not None:
+            state["network"] = export(now)
+        return state
+
+    def restore_state(self, state: dict) -> None:
+        """Load a :meth:`_capture_state` snapshot (resume path)."""
+        if state.get("engine") != "flashroute":
+            raise CheckpointError(
+                f"checkpoint engine {state.get('engine')!r} is not "
+                f"flashroute")
+        if state["granularity"] != self.config.granularity:
+            raise CheckpointError(
+                f"checkpoint granularity /{state['granularity']} does not "
+                f"match this scan's /{self.config.granularity}")
+        self.clock.now = state["clock"]
+        self.rate = state["rate"]
+        self.send_gap = 1.0 / self.rate
+        self.result = result_from_dict(state["result"])
+        self.stop_set.clear()
+        self.stop_set.update(state["stop_set"])
+        self.dcb.restore_state(state["dcb"])
+        self.queue.load(response_from_dict(entry)
+                        for entry in state["queue"])
+        if state.get("retry") is not None and self._retry is not None:
+            self._retry.restore_state(state["retry"])
+        if state.get("adaptive") is not None \
+                and self._controller is not None:
+            self._controller.restore_state(state["adaptive"])
+        if state.get("network") is not None:
+            restore = getattr(self.network, "restore_dynamic_state", None)
+            if restore is not None:
+                restore(state["network"])
+
+    def _write_checkpoint(self) -> str:
+        resil = self._resil
+        path = write_checkpoint(resil.checkpoint_path, "flashroute",
+                                self._ckpt_state, resil.checkpoint_meta)
+        self._checkpoints_written += 1
+        if self._events is not None:
+            self._events.checkpoint(self.clock.now,
+                                    self._ckpt_state["rounds_done"])
+        return path
+
+    def _interrupt_checkpoint(self) -> Optional[str]:
+        """Flush the last round-boundary snapshot on interrupt; ``None``
+        when checkpointing is off or no boundary was reached yet."""
+        resil = self._resil
+        if resil is None or resil.checkpoint_path is None \
+                or self._ckpt_state is None:
+            return None
+        return self._write_checkpoint()
+
+    def _fold_resilience_metrics(self) -> None:
+        reg = self._reg
+        if reg is None:
+            return
+        if self._retry is not None:
+            reg.inc("scan.retries.sent", self._retry.sent)
+            reg.inc("scan.retries.recovered", self._retry.recovered)
+            reg.inc("scan.retries.exhausted", self._retry.exhausted)
+        if self._controller is not None:
+            reg.inc("scan.adaptive.backoffs", self._controller.backoffs)
+            reg.inc("scan.adaptive.recoveries", self._controller.recoveries)
+        if self._checkpoints_written:
+            reg.inc("scan.checkpoints.written", self._checkpoints_written)
+
+    def execute(self, skip_preprobe: bool = False) -> ScanResult:
         set_cache = getattr(self.network, "set_route_cache_enabled", None)
         was_cached = None
         if not self.config.route_cache and set_cache is not None:
@@ -530,11 +732,19 @@ class _ScanRun:
                 tracer.begin("scan", self.result.tool, self.clock.now,
                              targets=self.result.num_targets,
                              rate_pps=self.rate)
-            if self.config.preprobe is not PreprobeMode.NONE:
+            if not skip_preprobe \
+                    and self.config.preprobe is not PreprobeMode.NONE:
                 self._run_preprobe()
             if tracer is not None:
                 tracer.begin("phase", "main", self.clock.now)
-            self._run_main_rounds()
+            try:
+                self._run_main_rounds()
+            except KeyboardInterrupt:
+                path = self._interrupt_checkpoint()
+                if path is not None:
+                    raise ScanInterrupted(path,
+                                          self.result.rounds) from None
+                raise
             self.clock.advance(_SETTLE_SECONDS)
             self._drain(self.clock.now)
             self.result.duration = self.clock.now
@@ -545,6 +755,7 @@ class _ScanRun:
                            probes=self.result.probes_sent,
                            responses=self.result.responses,
                            interfaces=self.result.interface_count())
+            self._fold_resilience_metrics()
             if self.telemetry is not None:
                 self.telemetry.record_result(self.result)
             return self.result
@@ -574,6 +785,8 @@ def _flashroute_factory(default_split: int):
         }
         if options.seed is not None:
             overrides["seed"] = options.seed
+        if options.resilience is not None:
+            overrides["resilience"] = options.resilience
         return FlashRoute(FlashRouteConfig(**overrides),
                           telemetry=options.telemetry)
     return build
@@ -588,5 +801,7 @@ def _build_yarrp32_udp_sim(options: ScannerOptions) -> FlashRoute:
     overrides = {"probing_rate": options.probing_rate}
     if options.seed is not None:
         overrides["seed"] = options.seed
+    if options.resilience is not None:
+        overrides["resilience"] = options.resilience
     return FlashRoute(FlashRouteConfig.yarrp32_udp_simulation(**overrides),
                       telemetry=options.telemetry)

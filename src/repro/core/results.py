@@ -168,6 +168,22 @@ class ScanResult:
             return 0.0
         return self.probes_sent / self.num_targets
 
+    def fingerprint(self) -> str:
+        """sha256 of the canonical JSON serialization of this result.
+
+        Two scans are byte-identical exactly when their fingerprints
+        match; the resilience property tests and the checkpoint/resume
+        acceptance criteria compare scans through this digest.
+        """
+        import hashlib
+        import json
+
+        from .output import result_to_dict
+
+        canonical = json.dumps(result_to_dict(self), sort_keys=True,
+                               separators=(",", ":"))
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
     def summary(self) -> str:
         """One table row in the paper's format."""
         return (f"{self.tool}: interfaces={self.interface_count():,} "

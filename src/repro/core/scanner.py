@@ -64,6 +64,13 @@ class ScannerOptions:
     #: Typed loosely to keep this module import-light.
     telemetry: Optional[object] = None
 
+    #: Optional :class:`repro.core.resilience.ResilienceConfig` (probe
+    #: retries, adaptive rate backoff, checkpoint/resume).  Factories map
+    #: what their tool supports: FlashRoute and Yarrp take the full
+    #: config, Scamper and traceroute honour the retry budget only.
+    #: ``None`` (the default) keeps every tool byte-identical to seed.
+    resilience: Optional[object] = None
+
 
 ScannerFactory = Callable[[ScannerOptions], Scanner]
 

@@ -69,6 +69,9 @@ _KIND_RESPONSE = 2
 _KIND_STOP_DECISION = 3
 _KIND_PREPROBE_PREDICT = 4
 _KIND_DCB_RELEASE = 5
+_KIND_RETRY = 6
+_KIND_RATE_CHANGE = 7
+_KIND_CHECKPOINT = 8
 
 _KIND_NAMES = {
     _KIND_PROBE_SENT: "probe_sent",
@@ -76,10 +79,17 @@ _KIND_NAMES = {
     _KIND_STOP_DECISION: "stop_decision",
     _KIND_PREPROBE_PREDICT: "preprobe_predict",
     _KIND_DCB_RELEASE: "dcb_release",
+    _KIND_RETRY: "retry",
+    _KIND_RATE_CHANGE: "rate_change",
+    _KIND_CHECKPOINT: "checkpoint",
 }
 
-#: Probing phases (probe_sent ``phase``).
-PHASES = ("preprobe", "main", "bulk", "fill", "trace")
+#: Probing phases (probe_sent ``phase``).  "retry" is appended after the
+#: original five so the phase codes of pre-resilience logs stay stable.
+PHASES = ("preprobe", "main", "bulk", "fill", "trace", "retry")
+#: Rate-change reasons (rate_change ``reason``): multiplicative backoff
+#: vs additive recovery, see repro.core.resilience.
+RATE_REASONS = ("backoff", "recover")
 #: Stop reasons (stop_decision ``reason``).  The first two are backward
 #: stops, the rest forward stops — matching the ``scan.*_stops.*``
 #: metric names.
@@ -91,6 +101,7 @@ RESPONSE_KINDS = ("ttl_exceeded", "port_unreachable", "host_unreachable",
 PREDICT_SOURCES = ("measured", "predicted")
 
 _PHASE_CODE = {name: code for code, name in enumerate(PHASES)}
+_RATE_REASON_CODE = {name: code for code, name in enumerate(RATE_REASONS)}
 _REASON_CODE = {name: code for code, name in enumerate(STOP_REASONS)}
 _RESPONSE_CODE = {name: code for code, name in enumerate(RESPONSE_KINDS)}
 _SOURCE_CODE = {name: code for code, name in enumerate(PREDICT_SOURCES)}
@@ -237,6 +248,28 @@ class EventRecorder:
         else:
             self.events_sampled_out += 1
 
+    def retry(self, vt: float, prefix: int, ttl: int, attempt: int,
+              dst: int) -> None:
+        """A probe was retransmitted (attempt >= 1); emitted alongside
+        the retried probe's ``probe_sent`` record."""
+        if prefix_sampled(prefix, self.sample):
+            self._emit((_KIND_RETRY, vt, prefix, ttl, attempt, dst,
+                        _NO_VALUE, _NO_AUX, 0))
+        else:
+            self.events_sampled_out += 1
+
+    def rate_change(self, vt: float, rate: float, reason: str) -> None:
+        """The adaptive controller changed the probing rate.  Scan-wide
+        (prefix 0) and never sampled out."""
+        self._emit((_KIND_RATE_CHANGE, vt, 0, 0,
+                    _RATE_REASON_CODE[reason], 0, float(rate), _NO_AUX, 0))
+
+    def checkpoint(self, vt: float, rounds: int) -> None:
+        """A checkpoint file was written after round ``rounds``.
+        Scan-wide (prefix 0) and never sampled out."""
+        self._emit((_KIND_CHECKPOINT, vt, 0, 0, 0, 0, float(rounds),
+                    _NO_AUX, 0))
+
     # ------------------------------------------------------------------ #
 
     def _emit(self, record: Tuple) -> None:
@@ -318,6 +351,16 @@ def _record_to_line(record: Tuple) -> str:
         return (f'{{"distance": {aux}, "ev": "preprobe_predict", '
                 f'"prefix": {prefix}, "source": "{PREDICT_SOURCES[code]}", '
                 f'"vt": {vt!r}}}\n')
+    if kind == _KIND_RETRY:
+        return (f'{{"attempt": {code}, "dst": {addr}, "ev": "retry", '
+                f'"prefix": {prefix}, "ttl": {ttl}, "vt": {vt!r}}}\n')
+    if kind == _KIND_RATE_CHANGE:
+        return (f'{{"ev": "rate_change", "prefix": {prefix}, '
+                f'"rate": {value!r}, "reason": "{RATE_REASONS[code]}", '
+                f'"vt": {vt!r}}}\n')
+    if kind == _KIND_CHECKPOINT:
+        return (f'{{"ev": "checkpoint", "prefix": {prefix}, '
+                f'"round": {int(value)}, "vt": {vt!r}}}\n')
     return f'{{"ev": "dcb_release", "prefix": {prefix}, "vt": {vt!r}}}\n'
 
 
@@ -350,6 +393,15 @@ def _record_to_dict(record: Tuple) -> Dict[str, object]:
     elif kind == _KIND_PREPROBE_PREDICT:
         event["source"] = PREDICT_SOURCES[code]
         event["distance"] = aux
+    elif kind == _KIND_RETRY:
+        event["ttl"] = ttl
+        event["dst"] = addr
+        event["attempt"] = code
+    elif kind == _KIND_RATE_CHANGE:
+        event["rate"] = value
+        event["reason"] = RATE_REASONS[code]
+    elif kind == _KIND_CHECKPOINT:
+        event["round"] = int(value)
     return event
 
 
@@ -417,3 +469,10 @@ def validate_events(events: List[Dict[str, object]]) -> None:
             raise ValueError(f"bad stop reason: {event!r}")
         if kind == "response" and event.get("kind") not in RESPONSE_KINDS:
             raise ValueError(f"bad response kind: {event!r}")
+        if kind == "retry" and not isinstance(event.get("attempt"), int):
+            raise ValueError(f"retry missing attempt: {event!r}")
+        if kind == "rate_change" \
+                and event.get("reason") not in RATE_REASONS:
+            raise ValueError(f"bad rate-change reason: {event!r}")
+        if kind == "checkpoint" and not isinstance(event.get("round"), int):
+            raise ValueError(f"checkpoint missing round: {event!r}")

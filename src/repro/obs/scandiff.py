@@ -44,8 +44,9 @@ from .events import BINARY_MAGIC, read_events
 
 #: Cause labels, in report order (severity: structural first).
 CAUSES = ("missing_prefix", "path_length", "dest_distance",
-          "responder_mismatch", "not_probed", "probe_loss", "blackout",
-          "response_loss", "rate_limited", "unattributed")
+          "responder_mismatch", "not_probed", "exhausted_retries",
+          "probe_loss", "blackout", "response_loss", "rate_limited",
+          "unattributed")
 
 
 @dataclass
@@ -72,6 +73,10 @@ class ScanView:
     #: ``(prefix, ttl) -> (send vt, full destination address)`` — only
     #: event logs carry this (``has_probe_level``).
     probes: Dict[Tuple[int, int], Tuple[float, int]] = field(
+        default_factory=dict)
+    #: Every send of each ``(prefix, ttl)`` in order — more than one
+    #: entry means the probe was retried (``repro.core.resilience``).
+    attempts: Dict[Tuple[int, int], List[Tuple[float, int]]] = field(
         default_factory=dict)
     responded: Set[Tuple[int, int]] = field(default_factory=set)
     stops: Dict[int, List[Tuple[str, int]]] = field(default_factory=dict)
@@ -108,6 +113,8 @@ def view_from_events(label: str, events: List[Dict[str, object]]) -> ScanView:
             key = (event["prefix"], event["ttl"])
             if key not in view.probes:
                 view.probes[key] = (event["vt"], event["dst"])
+            view.attempts.setdefault(key, []).append(
+                (event["vt"], event["dst"]))
         elif kind == "response":
             prefix = event["prefix"]
             ttl = event["ttl"]
@@ -179,6 +186,22 @@ def _classify_hole(view: ScanView, prefix: int, ttl: int,
     vt, dst = probe
     if (prefix, ttl) in view.responded:
         return "unattributed", "responded, hop not recorded"
+    attempts = view.attempts.get((prefix, ttl), ())
+    if len(attempts) > 1:
+        # The probe was retried and every attempt stayed silent: cite
+        # the fault draw behind each one (the injector's decisions are
+        # stateless, so they replay from the event log alone).
+        if injector is not None:
+            cites = []
+            for index, (vt_i, dst_i) in enumerate(attempts):
+                draw = injector.explain(dst_i, ttl, vt_i,
+                                        responder=expected_responder)
+                cites.append(f"attempt {index}: "
+                             f"{draw or 'rate_limited'}@vt={vt_i:.6f}")
+            return "exhausted_retries", "; ".join(cites)
+        return ("exhausted_retries",
+                f"{len(attempts)} attempts, all unanswered "
+                f"(no fault model given)")
     if injector is not None:
         cause = injector.explain(dst, ttl, vt,
                                  responder=expected_responder)

@@ -90,6 +90,30 @@ class ResponseQueue:
         while heap:
             yield heapq.heappop(heap)[2]
 
+    def snapshot(self) -> List[IcmpResponse]:
+        """Non-destructive view of the in-flight responses in pop order.
+
+        Used by checkpointing: the heap is *not* drained, and because
+        every injected duplicate was already unrolled into its own heap
+        entry at push time, the snapshot lists each delivery exactly
+        once (chained ``dup`` references on originals are ignored).
+        """
+        return [entry[2] for entry in sorted(self._heap)]
+
+    def load(self, responses: Iterable[IcmpResponse]) -> None:
+        """Rebuild the queue from a :meth:`snapshot` (checkpoint resume).
+
+        Responses are pushed raw, *without* duplicate unrolling — the
+        snapshot already lists duplicates as independent entries — and in
+        snapshot order, so arrival-time ties replay identically.
+        """
+        self._heap = []
+        self._seq = 0
+        heap = self._heap
+        for response in responses:
+            self._seq += 1
+            heapq.heappush(heap, (response.arrival_time, self._seq, response))
+
 
 class ProbeLog:
     """Compact append-only log of (send_time, destination, ttl) triples.

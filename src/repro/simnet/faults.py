@@ -181,6 +181,15 @@ class FaultInjector:
                 "duplicates_injected": self.duplicates_injected,
                 "reordered": self.reordered}
 
+    def restore_counters(self, state: dict) -> None:
+        """Restore observability counters from a checkpoint; fault *draws*
+        are stateless, so this never changes outcomes."""
+        self.probes_lost = state["probes_lost"]
+        self.responses_lost = state["responses_lost"]
+        self.blackout_drops = state["blackout_drops"]
+        self.duplicates_injected = state["duplicates_injected"]
+        self.reordered = state["reordered"]
+
     # ------------------------------------------------------------------ #
 
     def _unit(self, key: int, salt: int) -> float:

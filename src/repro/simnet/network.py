@@ -129,6 +129,44 @@ class SimulatedNetwork:
                        if self.faults is not None else None),
         }
 
+    @property
+    def drop_count(self) -> int:
+        """Rate-limiter drops so far (the adaptive-rate controller's
+        per-round backoff signal)."""
+        return self.rate_limiter.dropped
+
+    def export_dynamic_state(self, now: float) -> dict:
+        """Serialize the per-scan dynamic state for a checkpoint.
+
+        Covers everything that influences future probe outcomes or the
+        final fault/limiter statistics: send counters, live rate-limiter
+        bins (via :meth:`IcmpRateLimiter.export_bins`) and fault-injector
+        counters.  The route cache and its hit counters are deliberately
+        excluded — they are pure functions of the immutable topology and
+        only affect performance, never responses.
+        """
+        state = {
+            "probes_sent": self.probes_sent,
+            "responses_generated": self.responses_generated,
+            "rewritten_responses": self.rewritten_responses,
+            "ratelimit": self.rate_limiter.export_bins(now),
+            "faults": None,
+        }
+        if self.faults is not None:
+            state["faults"] = self.faults.stats()
+        return state
+
+    def restore_dynamic_state(self, state: dict) -> None:
+        """Restore counters and limiter bins from
+        :meth:`export_dynamic_state` (checkpoint resume)."""
+        self.probes_sent = state["probes_sent"]
+        self.responses_generated = state["responses_generated"]
+        self.rewritten_responses = state["rewritten_responses"]
+        self.rate_limiter.restore_bins(state["ratelimit"])
+        fault_state = state.get("faults")
+        if fault_state is not None and self.faults is not None:
+            self.faults.restore_counters(fault_state)
+
     def set_route_cache_enabled(self, enabled: bool) -> bool:
         """Enable/disable the route-cache fast path; returns the previous
         setting.  Disabling drops the cache; re-enabling builds a cold one."""

@@ -84,6 +84,57 @@ class IcmpRateLimiter:
         """Interfaces that exceeded the limit in at least one bin."""
         return frozenset(self._overprobed)
 
+    @property
+    def drop_count(self) -> int:
+        """Total requests dropped since construction/reset.
+
+        This is the drop signal the adaptive-rate controller
+        (:class:`repro.core.resilience.AdaptiveRateController`) samples
+        once per round; engines take per-round deltas of it.
+        """
+        return self.dropped
+
+    def export_bins(self, now: float) -> Dict[str, object]:
+        """Serialize the live bins for a checkpoint.
+
+        Only bins still capable of influencing future decisions are
+        captured: current-generation bins whose second is >= ``int(now)``
+        (older bins can never match again because the clock is
+        monotonic).  Seconds are stored generation-free; ``restore_bins``
+        re-tags them with the restoring limiter's generation.
+        """
+        gen_base = (self._generation + 1) << _GENERATION_SHIFT
+        horizon = int(now)
+        live = []
+        stamp = self._stamp
+        if stamp is not None:
+            count = self._count
+            for iface in range(len(stamp)):
+                token = stamp[iface]
+                if token >= gen_base and token - gen_base >= horizon:
+                    live.append([iface, token - gen_base, count[iface]])
+        for iface, (token, bin_count) in self._bins.items():
+            if token >= gen_base and token - gen_base >= horizon:
+                live.append([iface, token - gen_base, bin_count])
+        live.sort()
+        return {"limit": self.limit, "dropped": self.dropped,
+                "overprobed": sorted(self._overprobed), "bins": live}
+
+    def restore_bins(self, state: Dict[str, object]) -> None:
+        """Restore counters and live bins from :meth:`export_bins`."""
+        self.dropped = state["dropped"]
+        self._overprobed = set(state["overprobed"])
+        gen_base = (self._generation + 1) << _GENERATION_SHIFT
+        stamp = self._stamp
+        count = self._count
+        for iface, second, bin_count in state["bins"]:
+            token = gen_base + second
+            if stamp is not None and 0 <= iface < len(stamp):
+                stamp[iface] = token
+                count[iface] = bin_count
+            else:
+                self._bins[iface] = (token, bin_count)
+
     def stats(self) -> Dict[str, int]:
         """Observability counters (folded into ``simnet.ratelimit.*`` by
         :func:`repro.obs.record_network`)."""
