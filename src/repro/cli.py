@@ -234,7 +234,25 @@ def _build_parser() -> argparse.ArgumentParser:
                       default=None, metavar="K",
                       help="deterministically interrupt the scan at round "
                            "boundary K, as if ^C were pressed (testing "
-                           "checkpoint/resume)")
+                           "checkpoint/resume); with --shards, K counts "
+                           "completed slices instead of rounds")
+    scan.add_argument("--shards", type=_positive_int, default=None,
+                      metavar="N",
+                      help="run the scan sharded over N worker processes "
+                           "and merge to an output byte-identical to "
+                           "--shards 1 for the same seed (see "
+                           "docs/scaling.md)")
+    scan.add_argument("--shard-index", type=_nonneg_int, default=None,
+                      metavar="I",
+                      help="run only worker I's residue class of slices "
+                           "(slice %% N == I) standalone; requires "
+                           "--shards N")
+    scan.add_argument("--shard-slices", type=_positive_int, default=16,
+                      metavar="L",
+                      help="logical slices the keyspace splits into "
+                           "(default 16); fixed independently of --shards "
+                           "so the merged output never depends on the "
+                           "worker count")
 
     experiment = sub.add_parser("experiment",
                                 help="regenerate a paper table/figure")
@@ -296,9 +314,44 @@ def _build_telemetry(args: argparse.Namespace):
 
 #: Scan flags a checkpoint's invocation record captures — everything
 #: needed to rebuild the same topology, faults and scanner on --resume.
+#: The shard dimension (PR 6) rides along so a sharded checkpoint resumes
+#: under the same slice decomposition.
 _INVOCATION_KEYS = ("tool", "prefixes", "seed", "split_ttl", "gap_limit",
                     "preprobe", "rate", "loss", "blackout", "fault_seed",
-                    "no_route_cache", "retries", "adaptive_rate")
+                    "no_route_cache", "retries", "adaptive_rate",
+                    "shards", "shard_index", "shard_slices")
+
+
+def _scan_flag_error(message: str) -> "SystemExit":
+    """Cross-flag validation failure: argparse-style message, exit 2."""
+    print(f"flashroute-sim scan: error: {message}", file=sys.stderr)
+    return SystemExit(2)
+
+
+def _validate_shard_flags(args: argparse.Namespace) -> None:
+    """Cross-field checks argparse types can't express (exit code 2)."""
+    if args.shard_index is not None and args.shards is None:
+        raise _scan_flag_error(
+            "--shard-index requires --shards N (the worker count the "
+            "index selects from)")
+    if args.shards is not None:
+        if args.shard_index is not None and args.shard_index >= args.shards:
+            raise _scan_flag_error(
+                f"--shard-index must be < --shards "
+                f"({args.shard_index} >= {args.shards})")
+        if args.shards > args.shard_slices:
+            raise _scan_flag_error(
+                f"--shards ({args.shards}) must not exceed --shard-slices "
+                f"({args.shard_slices}); extra workers would idle — raise "
+                f"--shard-slices or lower --shards")
+        if args.pcap is not None:
+            raise _scan_flag_error(
+                "--pcap captures one network's packet stream and cannot "
+                "merge across shard workers; run without --shards")
+        if args.trace is not None:
+            raise _scan_flag_error(
+                "--trace records one engine's span tree and cannot merge "
+                "across shard workers; run without --shards")
 
 
 def _invocation_meta(args: argparse.Namespace) -> Dict[str, object]:
@@ -390,9 +443,14 @@ def _load_resume_document(args: argparse.Namespace):
 
 
 def _run_scan(args: argparse.Namespace) -> int:
+    _validate_shard_flags(args)
     resume_document = None
     if args.resume is not None:
         resume_document = _load_resume_document(args)
+        # The replayed invocation may have (re)introduced shard flags.
+        _validate_shard_flags(args)
+    if args.shards is not None:
+        return _run_sharded_scan(args, resume_document)
     topology = Topology(TopologyConfig(num_prefixes=args.prefixes,
                                        seed=args.seed))
     faults = FaultModel(probe_loss=args.loss, response_loss=args.loss,
@@ -482,6 +540,146 @@ def _run_scan(args: argparse.Namespace) -> int:
             print(f"  metrics: {args.metrics_out}")
         if args.trace is not None:
             print(f"  trace: {args.trace}")
+        if args.events is not None:
+            print(f"  events: {args.events}")
+        if args.checkpoint is not None and os.path.exists(args.checkpoint):
+            print(f"  checkpoint: {args.checkpoint}")
+    return 0
+
+
+def _run_sharded_scan(args: argparse.Namespace,
+                      resume_document: Optional[dict]) -> int:
+    """The ``--shards N`` scan path: slice, fan out, merge, emit.
+
+    Output handling mirrors the unsharded tail of :func:`_run_scan`; the
+    merged result, metrics snapshot and event log are byte-identical for
+    every worker count (see docs/scaling.md).
+    """
+    from .core.resilience import CheckpointError
+    from .core.sharding import (
+        SHARDED_ENGINE,
+        ShardError,
+        ShardPlan,
+        run_sharded_scan,
+    )
+
+    events_format = None
+    if args.events is not None:
+        events_format = ("binary" if args.events.endswith(".bin")
+                         else "jsonl")
+    plan = ShardPlan(
+        tool=args.tool,
+        topology=TopologyConfig(num_prefixes=args.prefixes,
+                                seed=args.seed),
+        shards=args.shards, shard_index=args.shard_index,
+        slices=args.shard_slices,
+        probing_rate=args.rate, split_ttl=args.split_ttl,
+        gap_limit=args.gap_limit, preprobe=args.preprobe,
+        loss=args.loss, blackout=args.blackout,
+        fault_seed=args.fault_seed,
+        use_route_cache=not args.no_route_cache,
+        retries=args.retries, adaptive_rate=args.adaptive_rate,
+        collect_metrics=args.metrics_out is not None,
+        events_format=events_format,
+        events_sample=args.events_sample, events_ring=args.events_ring)
+
+    resume_state = None
+    if resume_document is not None:
+        if resume_document.get("engine") != SHARDED_ENGINE:
+            print(f"resume: {args.resume}: checkpoint engine "
+                  f"{resume_document.get('engine')!r} is not a sharded "
+                  f"scan", file=sys.stderr)
+            return 2
+        resume_state = resume_document["state"]
+    checkpoint_path = args.checkpoint
+    if checkpoint_path is None and args.resume is not None:
+        checkpoint_path = args.resume
+
+    interrupt_after = args.interrupt_after_round
+    progress = args.progress is not None
+
+    def slice_hook(finished: int) -> None:
+        if progress:
+            print(f"progress: {finished}/{plan.slices} slices complete",
+                  file=sys.stderr)
+        if interrupt_after is not None and finished >= interrupt_after:
+            raise KeyboardInterrupt
+
+    try:
+        outcome = run_sharded_scan(
+            plan,
+            checkpoint_path=checkpoint_path,
+            checkpoint_every=args.checkpoint_every,
+            checkpoint_meta=_invocation_meta(args),
+            resume_state=resume_state,
+            slice_hook=slice_hook if (progress or interrupt_after)
+            else None)
+    except CheckpointError as exc:
+        print(f"resume: {exc}", file=sys.stderr)
+        return 2
+    except ShardError as exc:
+        print(f"scan: {exc}", file=sys.stderr)
+        return 1
+    except KeyboardInterrupt as exc:
+        saved = getattr(exc, "checkpoint_path", None)
+        if saved is not None:
+            print(f"interrupted: checkpoint written to {saved} "
+                  f"(continue with --resume {saved})", file=sys.stderr)
+        else:
+            print("interrupted: no checkpoint (pass --checkpoint FILE "
+                  "to make scans resumable)", file=sys.stderr)
+        return 130
+
+    result = outcome.result
+    if args.loss or args.blackout:
+        result.attach_simnet_stats(outcome.simnet_stats)
+    if args.metrics_out is not None:
+        from .obs.metrics import save_snapshot
+
+        save_snapshot(outcome.metrics_snapshot, args.metrics_out)
+    if args.events is not None:
+        payload = outcome.events_payload
+        if events_format == "binary":
+            with open(args.events, "wb") as stream:
+                stream.write(payload)
+        else:
+            with open(args.events, "w", encoding="utf-8") as stream:
+                stream.write(payload)
+    if args.output is not None:
+        _save_output(result, args.output)
+    if args.json:
+        print(_scan_to_json(result))
+    else:
+        print(result.summary())
+        print(f"  responses={result.responses:,} "
+              f"mismatched={result.mismatched_quotes:,} "
+              f"probes/target={result.probes_per_target():.1f}")
+        if args.loss or args.blackout:
+            print(f"  holes={result.route_holes():,} "
+                  f"duplicates={result.duplicate_responses:,}")
+            stats = outcome.simnet_stats
+            cache = stats.get("route_cache")
+            fault_stats = stats.get("faults")
+            if cache is not None:
+                print(f"  cache: hits={cache['hits']:,} "
+                      f"misses={cache['misses']:,}")
+            if fault_stats is not None:
+                print(f"  faults: probes_lost={fault_stats['probes_lost']:,} "
+                      f"responses_lost={fault_stats['responses_lost']:,} "
+                      f"blackout_drops={fault_stats['blackout_drops']:,} "
+                      f"duplicates_injected="
+                      f"{fault_stats['duplicates_injected']:,}")
+        shard_note = (f"worker {plan.shard_index} of {plan.shards}"
+                      if plan.shard_index is not None
+                      else f"{plan.shards} workers")
+        print(f"  shards: {shard_note}, "
+              f"{outcome.slices_total} slices"
+              + (f" ({outcome.slices_resumed} resumed)"
+                 if outcome.slices_resumed else ""))
+        if args.output is not None:
+            print(f"  saved: {args.output}")
+        if args.metrics_out is not None:
+            print(f"  metrics: {args.metrics_out}")
         if args.events is not None:
             print(f"  events: {args.events}")
         if args.checkpoint is not None and os.path.exists(args.checkpoint):

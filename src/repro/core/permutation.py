@@ -156,21 +156,75 @@ class MultiplicativeCycle:
             raise PermutationError("steps must be non-negative")
         return self.start * pow(self.g, steps, self.p) % self.p
 
-    def iter_steps(self, first_step: int = 0) -> Iterator[tuple]:
-        """Iterate ``(step, domain_value)`` pairs starting at ``first_step``.
+    def iter_steps(self, first_step: int = 0,
+                   stop_step: int = None) -> Iterator[tuple]:
+        """Iterate ``(step, domain_value)`` pairs over group steps
+        ``[first_step, stop_step)`` (``stop_step`` defaults to the full
+        cycle length ``p - 1``).
 
         ``step`` counts *group* steps (including skipped out-of-domain
         elements), so it is the resumable cursor a checkpoint stores;
         ``iter_steps(0)`` yields exactly the values of ``__iter__``.
         """
+        if stop_step is None:
+            stop_step = self.p - 1
         if not 0 <= first_step <= self.p - 1:
             raise PermutationError(
                 f"first_step must be in [0, {self.p - 1}]")
+        if not first_step <= stop_step <= self.p - 1:
+            raise PermutationError(
+                f"stop_step must be in [{first_step}, {self.p - 1}]")
         value = self.value_at_step(first_step)
-        for step in range(first_step, self.p - 1):
+        for step in range(first_step, stop_step):
             if value <= self.n:
                 yield step, value - 1
             value = value * self.g % self.p
+
+    # ------------------------------------------------------------------ #
+    # Shard slicing
+    # ------------------------------------------------------------------ #
+
+    def split_steps(self, num_shards: int) -> List[tuple]:
+        """Contiguous ``(first_step, stop_step)`` ranges splitting the full
+        group walk into ``num_shards`` near-equal pieces.
+
+        ``iter_steps(first, stop)`` over the ranges in order replays the
+        full cycle exactly: the ranges are disjoint, union-complete, and
+        order-preserving.  Ranges at the tail may be empty when
+        ``num_shards`` exceeds the cycle length.
+        """
+        if num_shards <= 0:
+            raise PermutationError("num_shards must be positive")
+        total = self.p - 1
+        base, extra = divmod(total, num_shards)
+        ranges = []
+        first = 0
+        for shard in range(num_shards):
+            width = base + (1 if shard < extra else 0)
+            ranges.append((first, first + width))
+            first += width
+        return ranges
+
+    def iter_shard(self, shard_index: int,
+                   num_shards: int) -> Iterator[tuple]:
+        """The stride-``num_shards`` residue slice of the cycle's *emission*
+        order: ``(emission_index, domain_value)`` for every in-domain value
+        whose position in the full walk satisfies
+        ``emission_index % num_shards == shard_index``.
+
+        The ``num_shards`` slices partition the full cycle exactly —
+        disjoint, union-complete, and (interleaved by emission index)
+        reproducing ``__iter__``'s order — which is what lets independent
+        workers walk deterministic subsets of the keyspace.
+        """
+        if num_shards <= 0:
+            raise PermutationError("num_shards must be positive")
+        if not 0 <= shard_index < num_shards:
+            raise PermutationError(
+                f"shard_index must be in [0, {num_shards})")
+        for emission, (_, domain_value) in enumerate(self.iter_steps(0)):
+            if emission % num_shards == shard_index:
+                yield emission, domain_value
 
 
 def _prime_factors(value: int) -> List[int]:

@@ -1,0 +1,625 @@
+"""Sharded multi-worker scanning with a byte-stable merge.
+
+The scan keyspace is cut into a **fixed number of logical slices**
+(:data:`DEFAULT_SLICES`, independent of the worker count): the global
+:class:`~repro.core.permutation.MultiplicativeCycle` over the prefix
+domain assigns the ``k``-th emitted prefix to slice ``k % slices``
+(exactly :meth:`~repro.core.permutation.MultiplicativeCycle.iter_shard`'s
+stride-residue partition).  Each slice runs as an independent, fully
+deterministic subscan — its own scanner instance, its own
+:class:`~repro.simnet.network.SimulatedNetwork` (fresh virtual clock,
+rate-limiter bins, route cache and fault counters) over the *shared
+read-only* :class:`~repro.simnet.topology.Topology` — and ``--shards N``
+merely distributes the slices over ``N`` worker processes.
+
+Because a slice's outcome depends only on (topology config, tool options,
+slice membership) and never on which worker ran it or when, the merged
+output is **invariant in the worker count**: ``--shards 4`` produces the
+same result file, metrics snapshot and event logs, byte for byte, as
+``--shards 1`` (the single-worker baseline that runs the same slices
+sequentially in one process).  The merge folds per-slice payloads in
+slice-index order — reproducing the single-worker emission order — never
+in completion order.
+
+Worker-init contract (enforced by tests/test_sharding_workerinit.py):
+the parent builds the :class:`Topology` once and workers inherit it via
+``fork`` (copy-on-write, no per-worker rebuild); under ``spawn`` each
+worker rebuilds it from the picklable
+:class:`~repro.simnet.config.TopologyConfig`, which is deterministic in
+its seed, so both start methods serve identical topologies.  Workers
+never mutate the topology — all mutable per-scan state (rate-limiter
+bins, caches, fault counters) lives in the per-slice network.
+
+Checkpointing gains a shard dimension here: the parent writes an
+``engine="sharded"`` checkpoint holding every *completed slice's* payload
+(result, simnet stats, metrics, event bytes); resume re-runs only the
+missing slices and merges to a byte-identical final output.  See
+docs/scaling.md for the full contract.
+"""
+
+from __future__ import annotations
+
+import base64
+import io
+import multiprocessing
+import os
+import time
+import traceback
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..simnet.config import TopologyConfig
+from ..simnet.faults import FaultModel
+from ..simnet.network import SimulatedNetwork
+from ..simnet.topology import Topology
+from .output import result_from_dict, result_to_dict
+from .permutation import MultiplicativeCycle
+from .resilience import (
+    CheckpointError,
+    ResilienceConfig,
+    ScanInterrupted,
+    write_checkpoint,
+)
+from .results import ScanResult
+from .scanner import ScannerOptions, create_scanner
+from .targets import random_targets
+
+#: Logical slices the keyspace always splits into, independent of the
+#: worker count — what makes the merged output invariant in ``--shards``.
+DEFAULT_SLICES = 16
+
+#: Salt mixed into the tool's seed for the slice-assignment permutation.
+_SLICE_SALT = 0x51BCE5
+
+#: Checkpoint engine tag of sharded-scan checkpoints.
+SHARDED_ENGINE = "sharded"
+
+
+class ShardError(RuntimeError):
+    """A worker failed while scanning one slice; carries the slice index
+    and the worker's formatted traceback."""
+
+    def __init__(self, slice_index: int, worker_traceback: str) -> None:
+        super().__init__(
+            f"slice {slice_index} failed in a shard worker:\n"
+            f"{worker_traceback}")
+        self.slice_index = slice_index
+        self.worker_traceback = worker_traceback
+
+
+@dataclass(frozen=True)
+class ShardPlan:
+    """Everything a worker needs to run one slice — plain, picklable data.
+
+    ``shards`` is the worker-process count; ``slices`` the (fixed) logical
+    decomposition.  ``shard_index`` selects one worker's residue class of
+    slices (``slice % shards == shard_index``) for standalone runs.
+    ``events_format`` is ``None`` (no event log), ``"jsonl"`` or
+    ``"binary"``.
+    """
+
+    tool: str
+    topology: TopologyConfig = field(default_factory=TopologyConfig)
+    shards: int = 1
+    shard_index: Optional[int] = None
+    slices: int = DEFAULT_SLICES
+    # Scanner knobs (mirror ScannerOptions; telemetry/resilience objects
+    # are built worker-side so the plan stays picklable).
+    probing_rate: Optional[float] = None
+    split_ttl: Optional[int] = None
+    gap_limit: Optional[int] = None
+    preprobe: Optional[str] = None
+    # Fault model + serving mode.
+    loss: float = 0.0
+    blackout: float = 0.0
+    fault_seed: int = 0
+    use_route_cache: bool = True
+    # Resilience (per-slice; checkpointing lives at the shard layer).
+    retries: int = 0
+    adaptive_rate: bool = False
+    # Telemetry wishes.
+    collect_metrics: bool = False
+    events_format: Optional[str] = None
+    events_sample: float = 1.0
+    events_ring: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.shards < 1:
+            raise ValueError(f"shards must be >= 1, got {self.shards}")
+        if self.slices < 1:
+            raise ValueError(f"slices must be >= 1, got {self.slices}")
+        if self.shards > self.slices:
+            raise ValueError(
+                f"shards ({self.shards}) must not exceed the logical "
+                f"slice count ({self.slices}); raise slices or lower "
+                f"shards")
+        if self.shard_index is not None \
+                and not 0 <= self.shard_index < self.shards:
+            raise ValueError(
+                f"shard_index must be in [0, {self.shards}), got "
+                f"{self.shard_index}")
+        if self.events_format not in (None, "jsonl", "binary"):
+            raise ValueError(
+                f"events_format must be None, 'jsonl' or 'binary', got "
+                f"{self.events_format!r}")
+
+
+@dataclass
+class ShardedOutcome:
+    """What a sharded scan hands back to the caller, already merged."""
+
+    result: ScanResult
+    simnet_stats: Dict[str, object]
+    metrics_snapshot: Optional[Dict[str, object]] = None
+    events_payload: Optional[object] = None  # str (JSONL) or bytes
+    slices_total: int = 0
+    slices_resumed: int = 0
+    #: Per-slice wall-side accounting (slice, worker pid, CPU seconds,
+    #: probes) in slice order; the scaling benchmark sums per-worker
+    #: throughput from it.  Slices restored from a checkpoint carry no
+    #: pid/cpu (they were not run this time).
+    slice_stats: List[Dict[str, object]] = field(default_factory=list)
+
+
+# --------------------------------------------------------------------- #
+# Slice construction
+# --------------------------------------------------------------------- #
+
+def _tool_profile(plan: ShardPlan) -> Tuple[int, int]:
+    """The tool's effective (seed, granularity) for the target draw.
+
+    Each engine defaults its targets to ``random_targets(topology,
+    config.seed, granularity)``; the driver must pre-draw the *full* map
+    with the same knobs (the draw is one sequential RNG over all
+    prefixes, so per-slice draws would not compose) and hand each slice
+    its sub-dict.
+    """
+    probe = create_scanner(plan.tool, _scanner_options(plan, None, None))
+    config = getattr(probe, "config", probe)
+    return getattr(config, "seed", 1), getattr(config, "granularity", 24)
+
+
+def _scanner_options(plan: ShardPlan, telemetry, resilience
+                     ) -> ScannerOptions:
+    return ScannerOptions(
+        probing_rate=plan.probing_rate, split_ttl=plan.split_ttl,
+        gap_limit=plan.gap_limit, preprobe=plan.preprobe,
+        telemetry=telemetry, resilience=resilience)
+
+
+def slice_assignment(num_prefixes: int, seed: int,
+                     slices: int) -> List[int]:
+    """Slice index of each prefix offset, derived from the global
+    permutation: the ``k``-th prefix the full
+    :class:`MultiplicativeCycle` walk emits lands in slice
+    ``k % slices`` (the same stride-residue partition
+    :meth:`MultiplicativeCycle.iter_shard` yields slice by slice)."""
+    cycle = MultiplicativeCycle(num_prefixes, seed=seed ^ _SLICE_SALT)
+    assignment = [0] * num_prefixes
+    for emission, offset in enumerate(cycle):
+        assignment[offset] = emission % slices
+    return assignment
+
+
+def build_slice_targets(topology: Topology, plan: ShardPlan
+                        ) -> List[Dict[int, int]]:
+    """The full deterministic target map, cut into per-slice sub-dicts.
+
+    Keys are block indexes at the tool's granularity; a /24's sub-blocks
+    always travel with their /24's slice, so finer granularities shard
+    along the same prefix partition.
+    """
+    seed, granularity = _tool_profile(plan)
+    full = random_targets(topology, seed, granularity=granularity)
+    prefixes = list(topology.scanned_prefixes())
+    assignment = slice_assignment(len(prefixes), seed, plan.slices)
+    slice_of = {prefix: assignment[index]
+                for index, prefix in enumerate(prefixes)}
+    shift = granularity - 24
+    per_slice: List[Dict[int, int]] = [{} for _ in range(plan.slices)]
+    for block, addr in full.items():
+        per_slice[slice_of[block >> shift]][block] = addr
+    return per_slice
+
+
+# --------------------------------------------------------------------- #
+# Per-slice execution (runs inside a worker process)
+# --------------------------------------------------------------------- #
+
+#: Worker-process context: set by :func:`_worker_init` (or inherited from
+#: the parent via fork — see the worker-init contract in the module
+#: docstring).
+_WORKER: Dict[str, object] = {}
+
+
+def _worker_init(plan: ShardPlan,
+                 slice_targets: List[Dict[int, int]]) -> None:
+    """Populate the worker's shared read-only context exactly once.
+
+    Under ``fork`` the parent populated :data:`_WORKER` before creating
+    the pool, so the built topology is inherited copy-on-write and this
+    returns immediately; under ``spawn`` the topology is rebuilt from the
+    plan's picklable :class:`TopologyConfig` (deterministic in its seed,
+    hence identical).
+    """
+    if _WORKER.get("plan") == plan and _WORKER.get("topology") is not None:
+        return
+    _WORKER["plan"] = plan
+    _WORKER["topology"] = Topology(plan.topology)
+    _WORKER["slice_targets"] = slice_targets
+
+
+def _build_faults(plan: ShardPlan) -> FaultModel:
+    # Mirror the CLI scan path, which always constructs a FaultModel (a
+    # zero-rate model draws nothing), so per-slice networks serve probes
+    # exactly as an unsharded CLI scan's network would.
+    return FaultModel(probe_loss=plan.loss, response_loss=plan.loss,
+                      blackout_fraction=plan.blackout,
+                      seed=plan.fault_seed)
+
+
+def _slice_resilience(plan: ShardPlan) -> Optional[ResilienceConfig]:
+    if not (plan.retries or plan.adaptive_rate):
+        return None
+    return ResilienceConfig(retries=plan.retries,
+                            adaptive_rate=plan.adaptive_rate)
+
+
+def _execute_slice(plan: ShardPlan, topology: Topology,
+                   targets: Dict[int, int], slice_index: int
+                   ) -> Dict[str, object]:
+    """Run one slice's subscan; returns a picklable, JSON-able payload."""
+    from ..obs.events import EventRecorder, strip_event_header
+    from ..obs.metrics import MetricsRegistry
+    from ..obs.telemetry import Telemetry
+
+    network = SimulatedNetwork(topology,
+                               use_route_cache=plan.use_route_cache,
+                               faults=_build_faults(plan))
+    telemetry = None
+    events_sink = None
+    binary = plan.events_format == "binary"
+    if plan.collect_metrics or plan.events_format is not None:
+        events = None
+        if plan.events_format is not None:
+            events_sink = io.BytesIO() if binary else io.StringIO()
+            # The slice records its full stream; --events-ring trims
+            # *after* the merge so sharded and single-worker ring files
+            # agree (see repro.obs.events.merge_event_logs).
+            events = EventRecorder(stream=events_sink, binary=binary,
+                                   sample=plan.events_sample)
+        telemetry = Telemetry(registry=MetricsRegistry(), events=events)
+    scanner = create_scanner(
+        plan.tool,
+        _scanner_options(plan, telemetry, _slice_resilience(plan)))
+    cpu_start = time.process_time()
+    result = scanner.scan(network, targets=dict(targets))
+    cpu_seconds = time.process_time() - cpu_start
+    payload: Dict[str, object] = {
+        "slice": slice_index,
+        "result": result_to_dict(result),
+        "stats": network.stats(),
+        # Wall-side accounting for the scaling benchmark: which worker
+        # process ran the slice and how much of its CPU the scan took.
+        # Never part of the merged (byte-stable) outputs.
+        "pid": os.getpid(),
+        "cpu_seconds": cpu_seconds,
+    }
+    if telemetry is not None:
+        telemetry.record_network(network)
+        telemetry.close()
+        if plan.collect_metrics:
+            payload["metrics"] = telemetry.registry.snapshot()
+        if events_sink is not None:
+            payload["events"] = strip_event_header(events_sink.getvalue(),
+                                                   binary)
+    return payload
+
+
+def _run_slice_job(slice_index: int) -> Dict[str, object]:
+    """Pool entry point: run one slice from the worker context.
+
+    Failures are returned as payloads (not raised) so the parent can
+    attribute them to the slice and fail the whole scan with the worker's
+    traceback (see :class:`ShardError`).
+    """
+    try:
+        return _execute_slice(_WORKER["plan"], _WORKER["topology"],
+                              _WORKER["slice_targets"][slice_index],
+                              slice_index)
+    except KeyboardInterrupt:  # pragma: no cover - propagation path
+        raise
+    except BaseException:
+        return {"slice": slice_index, "error": traceback.format_exc()}
+
+
+# --------------------------------------------------------------------- #
+# Merging
+# --------------------------------------------------------------------- #
+
+def merge_results(results: Sequence[ScanResult]) -> ScanResult:
+    """Fold per-slice :class:`ScanResult`s (in slice order) into one.
+
+    Per-prefix maps union (slices are disjoint by construction); probe
+    and response counters sum; ``duration``/``rounds`` take the maximum
+    (slices run concurrently on independent virtual clocks).  With the
+    same slice decomposition, the merged result — and hence its
+    :meth:`~ScanResult.fingerprint` — is identical for every worker
+    count.
+    """
+    if not results:
+        raise ValueError("need at least one result to merge")
+    first = results[0]
+    merged = ScanResult(tool=first.tool, granularity=first.granularity)
+    for result in results:
+        if result.tool != first.tool:
+            raise ValueError(
+                f"cannot merge results from different tools: "
+                f"{first.tool!r} vs {result.tool!r}")
+        merged.num_targets += result.num_targets
+        merged.routes.update(result.routes)
+        merged.dest_distance.update(result.dest_distance)
+        merged.targets.update(result.targets)
+        merged.probes_sent += result.probes_sent
+        merged.preprobe_probes += result.preprobe_probes
+        merged.responses += result.responses
+        merged.duplicate_responses += result.duplicate_responses
+        merged.mismatched_quotes += result.mismatched_quotes
+        merged.skipped_probes += result.skipped_probes
+        merged.duration = max(merged.duration, result.duration)
+        merged.rounds = max(merged.rounds, result.rounds)
+        merged.aborted = merged.aborted or result.aborted
+        merged.ttl_probe_histogram.update(result.ttl_probe_histogram)
+        merged.response_kinds.update(result.response_kinds)
+        merged.rtt_sum_ms += result.rtt_sum_ms
+        merged.rtt_count += result.rtt_count
+    return merged
+
+
+def _sum_dicts(dicts: Sequence[Optional[Dict[str, int]]],
+               last_wins: Tuple[str, ...] = ()) -> Optional[Dict[str, int]]:
+    present = [d for d in dicts if d is not None]
+    if not present:
+        return None
+    merged: Dict[str, int] = dict.fromkeys(present[0], 0)
+    for entry in present:
+        for key, value in entry.items():
+            if key in last_wins:
+                merged[key] = value
+            else:
+                merged[key] = merged.get(key, 0) + value
+    return merged
+
+
+def merge_simnet_stats(stats_list: Sequence[Dict[str, object]]
+                       ) -> Dict[str, object]:
+    """Fold per-slice ``SimulatedNetwork.stats()`` dicts in slice order.
+
+    Counters sum across the slices' independent networks; the rate
+    limiter's ``limit`` is a configuration gauge (identical per slice)
+    and keeps the last value.  ``overprobed_interfaces`` and the cache
+    size gauges sum per-slice state — shared transit interfaces/routes
+    can be counted once per slice, which is documented in
+    docs/scaling.md and excluded from the equivalence contract the same
+    way ``simnet.cache.*`` already is.
+    """
+    if not stats_list:
+        raise ValueError("need at least one stats dict to merge")
+    merged: Dict[str, object] = {
+        "probes_sent": sum(s["probes_sent"] for s in stats_list),
+        "responses_generated": sum(s["responses_generated"]
+                                   for s in stats_list),
+        "rewritten_responses": sum(s["rewritten_responses"]
+                                   for s in stats_list),
+        "ratelimit": _sum_dicts([s["ratelimit"] for s in stats_list],
+                                last_wins=("limit",)),
+        "route_cache": _sum_dicts([s["route_cache"] for s in stats_list]),
+        "faults": _sum_dicts([s["faults"] for s in stats_list]),
+    }
+    return merged
+
+
+def _merged_metrics(plan: ShardPlan, ordered: List[Dict[str, object]],
+                    result: ScanResult) -> Optional[Dict[str, object]]:
+    if not plan.collect_metrics:
+        return None
+    from ..obs.metrics import merge_snapshots
+
+    snapshot = merge_snapshots([payload["metrics"] for payload in ordered])
+    # Scan-wide gauges are properties of the merged scan, not of the last
+    # slice: overwrite them from the merged result so the snapshot reads
+    # like one scan's registry.
+    gauges = snapshot["gauges"]
+    gauges["scan.duration_virtual_seconds"] = result.duration
+    gauges["scan.targets"] = result.num_targets
+    if result.duration > 0:
+        gauges["scan.rate_pps"] = result.probes_sent / result.duration
+    snapshot["gauges"] = {name: gauges[name] for name in sorted(gauges)}
+    return snapshot
+
+
+def _merged_events(plan: ShardPlan,
+                   ordered: List[Dict[str, object]]) -> Optional[object]:
+    if plan.events_format is None:
+        return None
+    from ..obs.events import merge_event_logs
+
+    return merge_event_logs([payload["events"] for payload in ordered],
+                            binary=plan.events_format == "binary",
+                            ring=plan.events_ring)
+
+
+# --------------------------------------------------------------------- #
+# Checkpointing (the shard dimension of the PR-5 format)
+# --------------------------------------------------------------------- #
+
+def _payload_to_state(payload: Dict[str, object]) -> Dict[str, object]:
+    state = {"result": payload["result"], "stats": payload["stats"]}
+    if "metrics" in payload:
+        state["metrics"] = payload["metrics"]
+    if "events" in payload:
+        events = payload["events"]
+        if isinstance(events, bytes):
+            state["events_b64"] = base64.b64encode(events).decode("ascii")
+        else:
+            state["events_text"] = events
+    return state
+
+
+def _payload_from_state(slice_index: int,
+                        state: Dict[str, object]) -> Dict[str, object]:
+    payload: Dict[str, object] = {"slice": slice_index,
+                                  "result": state["result"],
+                                  "stats": state["stats"]}
+    if "metrics" in state:
+        payload["metrics"] = state["metrics"]
+    if "events_b64" in state:
+        payload["events"] = base64.b64decode(state["events_b64"])
+    elif "events_text" in state:
+        payload["events"] = state["events_text"]
+    return payload
+
+
+def _checkpoint_state(plan: ShardPlan,
+                      completed: Dict[int, Dict[str, object]]
+                      ) -> Dict[str, object]:
+    return {
+        "engine": SHARDED_ENGINE,
+        "tool": plan.tool,
+        "slices": plan.slices,
+        "completed": {str(index): _payload_to_state(completed[index])
+                      for index in sorted(completed)},
+    }
+
+
+def load_sharded_state(plan: ShardPlan, state: Dict[str, object]
+                       ) -> Dict[int, Dict[str, object]]:
+    """Validate a sharded checkpoint's state against ``plan`` and decode
+    the completed-slice payloads.  Raises :class:`CheckpointError` on an
+    engine/tool/slice-count mismatch — resuming under a different
+    decomposition would merge mismatched keyspaces."""
+    if state.get("engine") != SHARDED_ENGINE:
+        raise CheckpointError(
+            f"checkpoint engine {state.get('engine')!r} is not "
+            f"{SHARDED_ENGINE!r}")
+    if state.get("tool") != plan.tool:
+        raise CheckpointError(
+            f"checkpoint tool {state.get('tool')!r} does not match "
+            f"{plan.tool!r}")
+    if state.get("slices") != plan.slices:
+        raise CheckpointError(
+            f"checkpoint has {state.get('slices')!r} slices, this scan "
+            f"uses {plan.slices}")
+    completed = {}
+    for key, payload_state in state.get("completed", {}).items():
+        index = int(key)
+        if not 0 <= index < plan.slices:
+            raise CheckpointError(f"checkpoint slice {index} out of range")
+        completed[index] = _payload_from_state(index, payload_state)
+    return completed
+
+
+# --------------------------------------------------------------------- #
+# Orchestration
+# --------------------------------------------------------------------- #
+
+def _pool_context():
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context(
+        "fork" if "fork" in methods else "spawn")
+
+
+def run_sharded_scan(plan: ShardPlan, *,
+                     topology: Optional[Topology] = None,
+                     checkpoint_path: Optional[str] = None,
+                     checkpoint_every: int = 1,
+                     checkpoint_meta: Optional[dict] = None,
+                     resume_state: Optional[dict] = None,
+                     slice_hook: Optional[Callable[[int], None]] = None,
+                     ) -> ShardedOutcome:
+    """Run a sharded scan end to end and return the merged outcome.
+
+    ``slice_hook`` is called with the total completed-slice count after
+    every slice (the shard-layer analog of the engines' ``round_hook``);
+    raising ``KeyboardInterrupt`` from it simulates an interrupt
+    deterministically.  On interrupt with a ``checkpoint_path`` the
+    completed slices are flushed and :class:`ScanInterrupted` is raised;
+    ``resume_state`` (the ``"state"`` payload of such a checkpoint) skips
+    the already-completed slices, and the finished scan is byte-identical
+    to an uninterrupted one.
+    """
+    if topology is None:
+        topology = Topology(plan.topology)
+    slice_targets = build_slice_targets(topology, plan)
+    completed: Dict[int, Dict[str, object]] = {}
+    if resume_state is not None:
+        completed = load_sharded_state(plan, resume_state)
+    slices_resumed = len(completed)
+    pending = [index for index in range(plan.slices)
+               if index not in completed]
+    if plan.shard_index is not None:
+        pending = [index for index in pending
+                   if index % plan.shards == plan.shard_index]
+
+    def flush_checkpoint() -> Optional[str]:
+        if checkpoint_path is None:
+            return None
+        return write_checkpoint(checkpoint_path, SHARDED_ENGINE,
+                                _checkpoint_state(plan, completed),
+                                meta=checkpoint_meta)
+
+    def on_complete(payload: Dict[str, object]) -> None:
+        if "error" in payload:
+            raise ShardError(payload["slice"], payload["error"])
+        completed[payload["slice"]] = payload
+        finished = len(completed)
+        if checkpoint_path is not None and checkpoint_every \
+                and (finished - slices_resumed) % checkpoint_every == 0:
+            flush_checkpoint()
+        if slice_hook is not None:
+            slice_hook(finished)
+
+    workers = min(plan.shards, len(pending))
+    try:
+        if workers <= 1:
+            _worker_init(plan, slice_targets)
+            for index in pending:
+                on_complete(_run_slice_job(index))
+        else:
+            # Populate the parent-side context first so fork()ed workers
+            # inherit the built topology copy-on-write (the worker-init
+            # contract); spawn-based platforms rebuild it per worker from
+            # the picklable plan.
+            _worker_init(plan, slice_targets)
+            context = _pool_context()
+            with context.Pool(processes=workers,
+                              initializer=_worker_init,
+                              initargs=(plan, slice_targets)) as pool:
+                for payload in pool.imap_unordered(_run_slice_job,
+                                                   pending):
+                    on_complete(payload)
+    except KeyboardInterrupt:
+        path = flush_checkpoint()
+        if path is not None:
+            raise ScanInterrupted(path, rounds=len(completed)) from None
+        raise
+
+    ordered = [completed[index] for index in sorted(completed)]
+    if not ordered:
+        raise ValueError("sharded scan completed no slices")
+    result = merge_results([result_from_dict(payload["result"])
+                            for payload in ordered])
+    return ShardedOutcome(
+        result=result,
+        simnet_stats=merge_simnet_stats([payload["stats"]
+                                         for payload in ordered]),
+        metrics_snapshot=_merged_metrics(plan, ordered, result),
+        events_payload=_merged_events(plan, ordered),
+        slices_total=plan.slices,
+        slices_resumed=slices_resumed,
+        slice_stats=[{"slice": payload["slice"],
+                      "pid": payload.get("pid"),
+                      "cpu_seconds": payload.get("cpu_seconds"),
+                      "probes": payload["result"]["probes_sent"]}
+                     for payload in ordered],
+    )

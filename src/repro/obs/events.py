@@ -476,3 +476,55 @@ def validate_events(events: List[Dict[str, object]]) -> None:
             raise ValueError(f"bad rate-change reason: {event!r}")
         if kind == "checkpoint" and not isinstance(event.get("round"), int):
             raise ValueError(f"checkpoint missing round: {event!r}")
+
+
+# --------------------------------------------------------------------- #
+# Sharded merge (see repro.core.sharding)
+# --------------------------------------------------------------------- #
+
+def event_log_header(binary: bool):
+    """The file header a fresh recorder writes: the binary magic, or the
+    JSONL schema line (including its newline)."""
+    if binary:
+        return BINARY_MAGIC
+    return json.dumps({"ev": "events", "schema": EVENTS_SCHEMA},
+                      sort_keys=True) + "\n"
+
+
+def strip_event_header(payload, binary: bool):
+    """``payload`` (one recorder's complete output) minus its header —
+    the per-shard body the sharded merge concatenates.  Raises
+    ``ValueError`` when the header is absent (a truncated shard payload
+    must not be silently merged)."""
+    header = event_log_header(binary)
+    if not payload.startswith(header):
+        raise ValueError("event payload is missing its header")
+    return payload[len(header):]
+
+
+def merge_event_logs(bodies, binary: bool, ring: Optional[int] = None):
+    """One complete event log from per-shard header-stripped bodies.
+
+    Bodies concatenate in the given order (the sharded scan passes them
+    in slice-index order, reproducing the single-worker emission order);
+    ``ring`` keeps only the last ``ring`` records, applied *after* the
+    merge so sharded and single-worker ``--events-ring`` files agree.
+    """
+    if ring is not None and ring < 1:
+        raise ValueError(f"ring must be positive, got {ring!r}")
+    if binary:
+        body = b"".join(bodies)
+        if ring is not None:
+            chunk = 1 + _RECORD_LEN
+            if len(body) % chunk:
+                raise ValueError("merged binary body is not record-aligned")
+            records = len(body) // chunk
+            if records > ring:
+                body = body[(records - ring) * chunk:]
+        return BINARY_MAGIC + body
+    body = "".join(bodies)
+    if ring is not None:
+        lines = body.splitlines(keepends=True)
+        if len(lines) > ring:
+            body = "".join(lines[len(lines) - ring:])
+    return event_log_header(False) + body

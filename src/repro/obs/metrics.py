@@ -147,14 +147,73 @@ class MetricsRegistry:
         runs; ``wall`` carries the write timestamp (and any caller-supplied
         wall-clock extras, e.g. elapsed CPU seconds).
         """
-        payload = self.snapshot()
-        wall: Dict[str, object] = {"written_unix": time.time()}
-        if extra_wall:
-            wall.update(extra_wall)
-        payload["wall"] = wall
-        with open(path, "w", encoding="utf-8") as stream:
-            json.dump(payload, stream, indent=2, sort_keys=True)
-            stream.write("\n")
+        save_snapshot(self.snapshot(), path, extra_wall=extra_wall)
+
+
+def save_snapshot(snapshot: Dict[str, object], path: str,
+                  extra_wall: Optional[Dict[str, object]] = None) -> None:
+    """Write an already-built snapshot the way :meth:`MetricsRegistry.save`
+    does (wall-clock stamps confined to the ``wall`` section).
+
+    The sharded scan driver uses this to persist a *merged* snapshot that
+    no single registry ever held (see :mod:`repro.core.sharding`).
+    """
+    payload = dict(snapshot)
+    wall: Dict[str, object] = {"written_unix": time.time()}
+    if extra_wall:
+        wall.update(extra_wall)
+    payload["wall"] = wall
+    with open(path, "w", encoding="utf-8") as stream:
+        json.dump(payload, stream, indent=2, sort_keys=True)
+        stream.write("\n")
+
+
+def merge_snapshots(snapshots: Sequence[Dict[str, object]]
+                    ) -> Dict[str, object]:
+    """Fold per-shard registry snapshots into one, in the given order.
+
+    Counters and histogram contents sum (so the merged snapshot reads as
+    if one registry had observed every shard's scan); gauges keep the
+    last shard's value, exactly as one shared registry would after serving
+    the shards sequentially in that order.  Histogram bounds must agree
+    across shards — all engines draw them from the same fixed ladders.
+    Deterministic: callers pass shards in slice-index order, never in
+    completion order.
+    """
+    if not snapshots:
+        raise ValueError("need at least one snapshot to merge")
+    counters: Dict[str, int] = {}
+    gauges: Dict[str, float] = {}
+    histograms: Dict[str, Dict[str, object]] = {}
+    for snapshot in snapshots:
+        schema = snapshot.get("schema")
+        if schema != METRICS_SCHEMA:
+            raise ValueError(f"unsupported metrics schema: {schema!r}")
+        for name, value in snapshot.get("counters", {}).items():
+            counters[name] = counters.get(name, 0) + value
+        gauges.update(snapshot.get("gauges", {}))
+        for name, data in snapshot.get("histograms", {}).items():
+            merged = histograms.get(name)
+            if merged is None:
+                histograms[name] = {"bounds": list(data["bounds"]),
+                                    "counts": list(data["counts"]),
+                                    "count": data["count"],
+                                    "sum": data["sum"]}
+                continue
+            if merged["bounds"] != list(data["bounds"]):
+                raise ValueError(
+                    f"histogram {name!r} bounds differ across shards")
+            merged["counts"] = [a + b for a, b in
+                                zip(merged["counts"], data["counts"])]
+            merged["count"] += data["count"]
+            merged["sum"] += data["sum"]
+    return {
+        "schema": METRICS_SCHEMA,
+        "counters": {name: counters[name] for name in sorted(counters)},
+        "gauges": {name: gauges[name] for name in sorted(gauges)},
+        "histograms": {name: histograms[name]
+                       for name in sorted(histograms)},
+    }
 
 
 def load_snapshot(path: str) -> Dict[str, object]:

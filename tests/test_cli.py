@@ -327,3 +327,108 @@ class TestScanDiffCommand:
         junk.write_text("{\"not\": \"a snapshot\"}")
         assert main(["metrics-report", str(junk)]) == 2
         assert "metrics-report:" in capsys.readouterr().err
+
+
+class TestShardFlagValidation:
+    @pytest.mark.parametrize("argv", [
+        ["scan", "--prefixes", "128", "--shards", "0"],
+        ["scan", "--prefixes", "128", "--shards", "-2"],
+        ["scan", "--prefixes", "128", "--shards", "two"],
+        ["scan", "--prefixes", "128", "--shard-slices", "0"],
+        ["scan", "--prefixes", "128", "--shards", "2",
+         "--shard-index", "-1"],
+    ])
+    def test_rejects_invalid_numbers(self, capsys, argv):
+        with pytest.raises(SystemExit) as exc_info:
+            main(argv)
+        assert exc_info.value.code == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_shard_index_requires_shards(self, capsys):
+        with pytest.raises(SystemExit) as exc_info:
+            main(["scan", "--prefixes", "128", "--shard-index", "0"])
+        assert exc_info.value.code == 2
+        assert "--shard-index requires --shards" in \
+            capsys.readouterr().err
+
+    def test_shard_index_must_be_below_shards(self, capsys):
+        with pytest.raises(SystemExit) as exc_info:
+            main(["scan", "--prefixes", "128", "--shards", "2",
+                  "--shard-index", "2"])
+        assert exc_info.value.code == 2
+        assert "--shard-index must be < --shards" in \
+            capsys.readouterr().err
+
+    def test_shards_capped_by_slices(self, capsys):
+        with pytest.raises(SystemExit) as exc_info:
+            main(["scan", "--prefixes", "128", "--shards", "8",
+                  "--shard-slices", "4"])
+        assert exc_info.value.code == 2
+        assert "--shard-slices" in capsys.readouterr().err
+
+    @pytest.mark.parametrize("flag", ["--pcap", "--trace"])
+    def test_single_network_outputs_rejected(self, tmp_path, capsys, flag):
+        with pytest.raises(SystemExit) as exc_info:
+            main(["scan", "--prefixes", "128", "--shards", "2",
+                  flag, str(tmp_path / "out")])
+        assert exc_info.value.code == 2
+        assert "without --shards" in capsys.readouterr().err
+
+
+class TestShardedScanCLI:
+    def _scan(self, tmp_path, tag, extra):
+        out = tmp_path / f"{tag}.json"
+        events = tmp_path / f"{tag}.jsonl"
+        metrics = tmp_path / f"{tag}-metrics.json"
+        assert main(["scan", "--prefixes", "96", "--seed", "3",
+                     "--loss", "0.02", "--fault-seed", "7",
+                     "--output", str(out), "--events", str(events),
+                     "--metrics-out", str(metrics), *extra]) == 0
+        return out, events, metrics
+
+    def test_merged_files_match_single_worker_bytes(self, tmp_path,
+                                                    capsys):
+        from repro.obs.metrics import deterministic_snapshot, \
+            load_snapshot
+        single = self._scan(tmp_path, "single", ["--shards", "1"])
+        capsys.readouterr()
+        sharded = self._scan(tmp_path, "sharded", ["--shards", "4"])
+        assert "shards: 4 workers, 16 slices" in capsys.readouterr().out
+        assert sharded[0].read_bytes() == single[0].read_bytes()
+        assert sharded[1].read_bytes() == single[1].read_bytes()
+        assert deterministic_snapshot(load_snapshot(str(sharded[2]))) \
+            == deterministic_snapshot(load_snapshot(str(single[2])))
+
+    def test_interrupt_and_resume_finish_byte_identically(self, tmp_path,
+                                                          capsys):
+        full = self._scan(tmp_path, "full", ["--shards", "2"])
+        capsys.readouterr()
+        ckpt = tmp_path / "scan.ckpt"
+        argv = ["scan", "--prefixes", "96", "--seed", "3",
+                "--loss", "0.02", "--fault-seed", "7",
+                "--output", str(tmp_path / "part.json"),
+                "--events", str(tmp_path / "part.jsonl"),
+                "--metrics-out", str(tmp_path / "part-metrics.json"),
+                "--shards", "2", "--checkpoint", str(ckpt)]
+        assert main(argv + ["--interrupt-after-round", "5"]) == 130
+        assert "interrupted: checkpoint written" in \
+            capsys.readouterr().err
+        # Resume replays the scan-shaping flags (including --shards) from
+        # the checkpoint; only the output destinations are re-specified.
+        assert main(["scan", "--resume", str(ckpt),
+                     "--output", str(tmp_path / "part.json"),
+                     "--events", str(tmp_path / "part.jsonl"),
+                     "--metrics-out",
+                     str(tmp_path / "part-metrics.json")]) == 0
+        out = capsys.readouterr().out
+        assert "(5 resumed)" in out
+        assert (tmp_path / "part.json").read_bytes() == \
+            full[0].read_bytes()
+        assert (tmp_path / "part.jsonl").read_bytes() == \
+            full[1].read_bytes()
+
+    def test_shard_index_runs_one_worker_standalone(self, capsys):
+        assert main(["scan", "--prefixes", "96", "--seed", "3",
+                     "--shards", "2", "--shard-index", "1"]) == 0
+        assert "shards: worker 1 of 2, 16 slices" in \
+            capsys.readouterr().out

@@ -95,3 +95,89 @@ class TestMultiplicativeCycle:
            st.integers(min_value=0, max_value=2**31))
     def test_cover_property(self, n, seed):
         assert sorted(MultiplicativeCycle(n, seed=seed)) == list(range(n))
+
+
+class TestShardSlicing:
+    """Shard iterators must partition the full cycle *exactly* — the
+    property the sharded scanner's byte-stable merge rests on."""
+
+    def test_iter_shard_partitions_emissions(self):
+        cycle = MultiplicativeCycle(1000, seed=7)
+        full = list(cycle)
+        shards = [list(cycle.iter_shard(i, 4)) for i in range(4)]
+        # Disjoint and union-complete over emission indexes.
+        emissions = [e for shard in shards for e, _ in shard]
+        assert sorted(emissions) == list(range(len(full)))
+        # Interleaving by emission index reconstructs __iter__'s order.
+        merged = sorted((pair for shard in shards for pair in shard))
+        assert [value for _, value in merged] == full
+
+    def test_iter_shard_stride_residues(self):
+        cycle = MultiplicativeCycle(200, seed=3)
+        for index in range(3):
+            assert all(e % 3 == index
+                       for e, _ in cycle.iter_shard(index, 3))
+
+    def test_iter_shard_single_shard_is_full_walk(self):
+        cycle = MultiplicativeCycle(500, seed=9)
+        assert [v for _, v in cycle.iter_shard(0, 1)] == list(cycle)
+
+    def test_iter_shard_deterministic(self):
+        a = list(MultiplicativeCycle(700, seed=5).iter_shard(2, 4))
+        b = list(MultiplicativeCycle(700, seed=5).iter_shard(2, 4))
+        assert a == b
+
+    def test_iter_shard_rejects_bad_args(self):
+        cycle = MultiplicativeCycle(10, seed=1)
+        with pytest.raises(PermutationError):
+            list(cycle.iter_shard(0, 0))
+        with pytest.raises(PermutationError):
+            list(cycle.iter_shard(4, 4))
+        with pytest.raises(PermutationError):
+            list(cycle.iter_shard(-1, 4))
+
+    def test_split_steps_partitions_walk(self):
+        cycle = MultiplicativeCycle(1000, seed=13)
+        ranges = cycle.split_steps(5)
+        # Contiguous, disjoint, union-complete over the group walk.
+        assert ranges[0][0] == 0
+        assert ranges[-1][1] == cycle.p - 1
+        for (_, stop), (first, _) in zip(ranges, ranges[1:]):
+            assert stop == first
+        replayed = [value for first, stop in ranges
+                    for _, value in cycle.iter_steps(first, stop)]
+        assert replayed == list(cycle)
+
+    def test_split_steps_handles_more_shards_than_steps(self):
+        cycle = MultiplicativeCycle(2, seed=1)
+        ranges = cycle.split_steps(50)
+        assert len(ranges) == 50
+        replayed = [value for first, stop in ranges
+                    for _, value in cycle.iter_steps(first, stop)]
+        assert replayed == list(cycle)
+
+    def test_split_steps_rejects_nonpositive(self):
+        with pytest.raises(PermutationError):
+            MultiplicativeCycle(10, seed=1).split_steps(0)
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(min_value=1, max_value=2000),
+           st.integers(min_value=0, max_value=2**31),
+           st.integers(min_value=1, max_value=9))
+    def test_shard_partition_property(self, n, seed, num_shards):
+        cycle = MultiplicativeCycle(n, seed=seed)
+        pairs = sorted(pair for index in range(num_shards)
+                       for pair in cycle.iter_shard(index, num_shards))
+        full = list(cycle)
+        assert [e for e, _ in pairs] == list(range(len(full)))
+        assert [v for _, v in pairs] == full
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(min_value=1, max_value=2000),
+           st.integers(min_value=0, max_value=2**31),
+           st.integers(min_value=1, max_value=9))
+    def test_split_steps_partition_property(self, n, seed, num_shards):
+        cycle = MultiplicativeCycle(n, seed=seed)
+        replayed = [value for first, stop in cycle.split_steps(num_shards)
+                    for _, value in cycle.iter_steps(first, stop)]
+        assert replayed == list(cycle)
