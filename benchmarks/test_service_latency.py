@@ -1,0 +1,74 @@
+"""Scan-daemon latency under a concurrent client burst.
+
+PR 7's service acceptance numbers: boot a real ``flashroute-sim serve``
+daemon on a loopback TCP socket, fire ``REPRO_BENCH_CLIENTS`` (default
+1000) concurrent clients cycling over 64 distinct ``(destination,
+flow)`` keys, and regenerate ``BENCH_service_latency.json`` at the repo
+root with wall-clock latency percentiles plus the service's own
+counters.
+
+The key set is smaller than the client count and half of it is warmed
+before the measured burst, so the run exercises all three serving
+paths — fresh traces, mid-flight coalescing, and cache hits — and the
+report pins nonzero cache-hit and coalesce rates.
+
+Acceptance: zero client-visible errors, every request served (hits +
+misses + coalesced == clients), nonzero cache-hit and coalesce rates,
+and a sane latency distribution (p50 <= p90 <= p99 <= max).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+
+from conftest import run_once
+
+from repro.service.loadtest import run_loadtest
+
+REPORT_NAME = "BENCH_service_latency.json"
+
+_CLIENTS = int(os.environ.get("REPRO_BENCH_CLIENTS", "1000"))
+_KEYS = 64
+_FLOWS = 4
+_PREFIXES = 256
+
+
+def run_service_benchmark():
+    report = run_loadtest(prefixes=_PREFIXES, clients=_CLIENTS,
+                          keys=_KEYS, flows=_FLOWS)
+    report["benchmark"] = "service_latency"
+    return report
+
+
+def test_service_latency_report(benchmark, save_result):
+    report = run_once(benchmark, run_service_benchmark)
+
+    path = (pathlib.Path(__file__).resolve().parent.parent / REPORT_NAME)
+    path.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n",
+                    encoding="utf-8")
+    save_result("service_latency",
+                json.dumps({"clients": report["clients"],
+                            "latency_ms": report["latency_ms"],
+                            "cache_hit_rate": report["cache_hit_rate"],
+                            "coalesce_rate": report["coalesce_rate"]},
+                           sort_keys=True))
+
+    outcomes = report["outcomes"]
+    assert outcomes["error"] == 0, outcomes
+    served = outcomes["hit"] + outcomes["miss"] + outcomes["coalesced"]
+    assert served == report["clients"], outcomes
+
+    # The mix must exercise every serving path.
+    assert report["cache_hit_rate"] > 0, report
+    assert report["coalesce_rate"] > 0, report
+    assert outcomes["miss"] > 0, outcomes
+
+    # Cached keys are served without re-probing: the daemon traces each
+    # distinct key at most once, however many clients ask.
+    assert report["service"]["traces_started"] <= _KEYS, report["service"]
+
+    latency = report["latency_ms"]
+    assert 0 < latency["p50"] <= latency["p90"] <= latency["p99"], latency
+    assert latency["p99"] <= latency["max"], latency

@@ -5,15 +5,22 @@ Traceroute on a Massive Scale* (Huang, Rabinovich, Al-Dalky, IMC 2020) on a
 simulated Internet.  See DESIGN.md for the system inventory and
 EXPERIMENTS.md for the paper-vs-measured results.
 
-Public entry points::
+Public entry point — the :mod:`repro.api` facade::
 
-    from repro import (FlashRoute, FlashRouteConfig, Topology,
-                       TopologyConfig, SimulatedNetwork)
+    from repro import api
 
-    topology = Topology(TopologyConfig(num_prefixes=1024))
-    scanner = FlashRoute(FlashRouteConfig(split_ttl=16))
-    result = scanner.scan(SimulatedNetwork(topology))
+    result = api.scan(tool="flashroute-16", prefixes=1024)
     print(result.summary())
+
+    engine = api.Engine.from_request(api.ScanRequest(prefixes=1024))
+    for hop in engine.open_session(api.TraceRequest.parse(
+            {"destination": "20.0.0.7"})).stream():
+        print(hop)
+
+Constructing the probing engines directly (``FlashRoute(config)`` …)
+still works but raises a :class:`DeprecationWarning`; go through
+``api.scan()``/``api.open_session()`` or the scanner registry
+(:func:`repro.core.scanner.create_scanner`) instead.
 """
 
 __version__ = "1.0.0"

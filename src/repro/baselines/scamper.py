@@ -32,6 +32,7 @@ from ..simnet.network import SimulatedNetwork
 from ..core.encoding import encode_probe
 from ..core.permutation import FeistelPermutation
 from ..core.results import ScanResult
+from ..core.scanner import warn_direct_construction
 from ..core.targets import random_targets
 
 
@@ -87,6 +88,7 @@ class Scamper:
 
     def __init__(self, config: Optional[ScamperConfig] = None,
                  telemetry=None) -> None:
+        warn_direct_construction("Scamper")
         self.config = config if config is not None else ScamperConfig()
         self.telemetry = telemetry
         self._reg = telemetry.registry if telemetry is not None else None

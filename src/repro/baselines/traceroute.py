@@ -179,6 +179,7 @@ class TracerouteScanner:
 
     def __init__(self, max_ttl: int = 32, inter_probe_gap: float = 0.02,
                  seed: int = 1, retries: int = 0, telemetry=None) -> None:
+        core.scanner.warn_direct_construction("TracerouteScanner")
         self.max_ttl = max_ttl
         self.inter_probe_gap = inter_probe_gap
         self.seed = seed

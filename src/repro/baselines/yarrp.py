@@ -37,6 +37,7 @@ from ..core.resilience import (AdaptiveRateController, CheckpointError,
                                ScanInterrupted, response_from_dict,
                                response_to_dict, write_checkpoint)
 from ..core.results import ScanResult
+from ..core.scanner import warn_direct_construction
 from ..core.targets import random_targets
 
 _SETTLE_SECONDS = 1.0
@@ -122,6 +123,7 @@ class Yarrp:
 
     def __init__(self, config: Optional[YarrpConfig] = None,
                  telemetry=None) -> None:
+        warn_direct_construction("Yarrp")
         self.config = config if config is not None else YarrpConfig.yarrp_32()
         #: Optional :class:`repro.obs.Telemetry`; ``None`` keeps the
         #: stateless bulk loop on its zero-overhead path.

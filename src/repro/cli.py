@@ -19,9 +19,10 @@ import os
 import sys
 from typing import Callable, Dict, List, Optional
 
+from .api import Engine, ScanRequest
 from .core.config import PreprobeMode
 from .core.results import ScanResult
-from .core.scanner import ScannerOptions, create_scanner, scanner_names
+from .core.scanner import scanner_names
 from .experiments import (
     ExperimentContext,
     run_discovery_experiment,
@@ -44,10 +45,7 @@ from .experiments import (
     run_table4,
     run_table5,
 )
-from .simnet.config import TopologyConfig
 from .simnet.faults import FaultModel
-from .simnet.network import SimulatedNetwork
-from .simnet.topology import Topology
 
 _EXPERIMENTS: Dict[str, Callable[[ExperimentContext], object]] = {
     "table1": run_table1,
@@ -254,6 +252,45 @@ def _build_parser() -> argparse.ArgumentParser:
                            "so the merged output never depends on the "
                            "worker count")
 
+    serve = sub.add_parser(
+        "serve",
+        help="run the traceroute-as-a-service daemon (docs/service.md)")
+    serve.add_argument("--prefixes", type=_positive_int, default=1024,
+                       help="number of /24 prefixes in the warm topology")
+    serve.add_argument("--seed", type=int, default=20201027,
+                       help="topology seed")
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="TCP bind address (default 127.0.0.1)")
+    serve.add_argument("--port", type=int, default=4792,
+                       help="TCP port (0 picks a free one; default 4792)")
+    serve.add_argument("--socket", metavar="PATH", default=None,
+                       help="serve on a Unix-domain socket instead of TCP")
+    serve.add_argument("--cache-size", type=_nonneg_int, default=None,
+                       metavar="N",
+                       help="LRU result-cache capacity in traces "
+                            "(0 disables caching)")
+
+    bench = sub.add_parser(
+        "serve-bench",
+        help="burst-load an in-process daemon and report latency "
+             "percentiles + cache/coalesce rates")
+    bench.add_argument("--prefixes", type=_positive_int, default=256)
+    bench.add_argument("--seed", type=int, default=20201027)
+    bench.add_argument("--clients", type=_positive_int, default=1000,
+                       help="concurrent client connections in the burst")
+    bench.add_argument("--keys", type=_positive_int, default=64,
+                       help="distinct (destination, flow) identities the "
+                            "burst cycles over")
+    bench.add_argument("--flows", type=_positive_int, default=4)
+    bench.add_argument("--concurrency", type=_positive_int, default=None,
+                       help="cap concurrently open connections (default: "
+                            "the full burst at once)")
+    bench.add_argument("--output", metavar="FILE", default=None,
+                       help="write the full report JSON (the "
+                            "BENCH_service_latency.json artifact)")
+    bench.add_argument("--json", action="store_true",
+                       help="print the full report as JSON")
+
     experiment = sub.add_parser("experiment",
                                 help="regenerate a paper table/figure")
     experiment.add_argument("id", choices=sorted(_EXPERIMENTS))
@@ -312,16 +349,6 @@ def _build_telemetry(args: argparse.Namespace):
                             events_ring=args.events_ring)
 
 
-#: Scan flags a checkpoint's invocation record captures — everything
-#: needed to rebuild the same topology, faults and scanner on --resume.
-#: The shard dimension (PR 6) rides along so a sharded checkpoint resumes
-#: under the same slice decomposition.
-_INVOCATION_KEYS = ("tool", "prefixes", "seed", "split_ttl", "gap_limit",
-                    "preprobe", "rate", "loss", "blackout", "fault_seed",
-                    "no_route_cache", "retries", "adaptive_rate",
-                    "shards", "shard_index", "shard_slices")
-
-
 def _scan_flag_error(message: str) -> "SystemExit":
     """Cross-flag validation failure: argparse-style message, exit 2."""
     print(f"flashroute-sim scan: error: {message}", file=sys.stderr)
@@ -355,7 +382,10 @@ def _validate_shard_flags(args: argparse.Namespace) -> None:
 
 
 def _invocation_meta(args: argparse.Namespace) -> Dict[str, object]:
-    return {key: getattr(args, key) for key in _INVOCATION_KEYS}
+    """The checkpoint's invocation record: the scan's
+    :class:`~repro.api.ScanRequest`, serialized — everything needed to
+    rebuild the same topology, faults and scanner on ``--resume``."""
+    return ScanRequest.from_args(args).to_dict()
 
 
 def _build_resilience(args: argparse.Namespace):
@@ -386,15 +416,6 @@ def _build_resilience(args: argparse.Namespace):
         checkpoint_every=args.checkpoint_every,
         checkpoint_meta=_invocation_meta(args),
         round_hook=hook)
-
-
-def _build_scanner(args: argparse.Namespace, telemetry=None):
-    """Resolve ``--tool`` through the scanner registry (repro.core.scanner);
-    tool-specific construction lives with each tool's registration."""
-    return create_scanner(args.tool, ScannerOptions(
-        probing_rate=args.rate, split_ttl=args.split_ttl,
-        gap_limit=args.gap_limit, preprobe=args.preprobe,
-        telemetry=telemetry, resilience=_build_resilience(args)))
 
 
 def _scan_to_json(result: ScanResult) -> str:
@@ -430,15 +451,17 @@ def _load_resume_document(args: argparse.Namespace):
         print(f"resume: {exc}", file=sys.stderr)
         raise SystemExit(2)
     invocation = document.get("invocation")
-    if not isinstance(invocation, dict) \
-            or not all(key in invocation for key in _INVOCATION_KEYS):
+    try:
+        if not isinstance(invocation, dict):
+            raise ValueError("no invocation record")
+        request = ScanRequest.from_dict(invocation, complete=True)
+    except ValueError:
         print(f"resume: {args.resume}: checkpoint carries no usable "
               f"invocation record (written by an API caller? rebuild the "
               f"scan in code and call the engine's resume())",
               file=sys.stderr)
         raise SystemExit(2)
-    for key in _INVOCATION_KEYS:
-        setattr(args, key, invocation[key])
+    request.apply_to_args(args)
     return document
 
 
@@ -451,39 +474,33 @@ def _run_scan(args: argparse.Namespace) -> int:
         _validate_shard_flags(args)
     if args.shards is not None:
         return _run_sharded_scan(args, resume_document)
-    topology = Topology(TopologyConfig(num_prefixes=args.prefixes,
-                                       seed=args.seed))
-    faults = FaultModel(probe_loss=args.loss, response_loss=args.loss,
-                        blackout_fraction=args.blackout,
-                        seed=args.fault_seed)
-    network = SimulatedNetwork(topology,
-                               use_route_cache=not args.no_route_cache,
-                               faults=faults)
+    request = ScanRequest.from_args(args)
+    telemetry = _build_telemetry(args)
+    session = Engine.from_request(request).open_session(
+        request, telemetry=telemetry, resilience=_build_resilience(args))
+    network = session.network
     pcap_handle = None
     if args.pcap is not None:
         from .simnet.capture import CapturingNetwork
 
         pcap_handle = open(args.pcap, "wb")
-        network = CapturingNetwork(network, pcap_handle)
-    telemetry = _build_telemetry(args)
+        session.network = network = CapturingNetwork(network, pcap_handle)
     try:
-        scanner = _build_scanner(args, telemetry=telemetry)
         try:
             if resume_document is not None:
-                resume = getattr(scanner, "resume", None)
-                if resume is None:
-                    print(f"resume: tool {args.tool!r} does not support "
-                          f"checkpoint/resume", file=sys.stderr)
-                    return 2
                 from .core.resilience import CheckpointError
 
                 try:
-                    result = resume(network, resume_document["state"])
+                    result = session.resume(resume_document["state"])
                 except CheckpointError as exc:
                     print(f"resume: {exc}", file=sys.stderr)
                     return 2
+                except ValueError as exc:
+                    # The session refuses tools without a resume() hook.
+                    print(f"resume: {exc}", file=sys.stderr)
+                    return 2
             else:
-                result = scanner.scan(network)
+                result = session.run()
         except KeyboardInterrupt as exc:
             checkpoint_path = getattr(exc, "checkpoint_path", None)
             if checkpoint_path is not None:
@@ -567,18 +584,8 @@ def _run_sharded_scan(args: argparse.Namespace,
     if args.events is not None:
         events_format = ("binary" if args.events.endswith(".bin")
                          else "jsonl")
-    plan = ShardPlan(
-        tool=args.tool,
-        topology=TopologyConfig(num_prefixes=args.prefixes,
-                                seed=args.seed),
-        shards=args.shards, shard_index=args.shard_index,
-        slices=args.shard_slices,
-        probing_rate=args.rate, split_ttl=args.split_ttl,
-        gap_limit=args.gap_limit, preprobe=args.preprobe,
-        loss=args.loss, blackout=args.blackout,
-        fault_seed=args.fault_seed,
-        use_route_cache=not args.no_route_cache,
-        retries=args.retries, adaptive_rate=args.adaptive_rate,
+    plan = ShardPlan.from_request(
+        ScanRequest.from_args(args),
         collect_metrics=args.metrics_out is not None,
         events_format=events_format,
         events_sample=args.events_sample, events_ring=args.events_ring)
@@ -687,6 +694,54 @@ def _run_sharded_scan(args: argparse.Namespace,
     return 0
 
 
+def _run_serve(args: argparse.Namespace) -> int:
+    from .service import daemon
+
+    request = ScanRequest(prefixes=args.prefixes, seed=args.seed)
+    cache_size = (args.cache_size if args.cache_size is not None
+                  else daemon.DEFAULT_CACHE_SIZE)
+    try:
+        service = daemon.serve(request, host=args.host, port=args.port,
+                               socket_path=args.socket,
+                               cache_size=cache_size)
+    except KeyboardInterrupt:
+        print("serve: interrupted", file=sys.stderr)
+        return 130
+    stats = service.stats()
+    print(f"serve: shut down after {stats['requests']} requests "
+          f"({stats['traces_started']} traces, {stats['cache_hits']} "
+          f"cache hits, {stats['coalesced']} coalesced)")
+    return 0
+
+
+def _run_serve_bench(args: argparse.Namespace) -> int:
+    from .service.loadtest import run_loadtest
+
+    report = run_loadtest(prefixes=args.prefixes, seed=args.seed,
+                          clients=args.clients, keys=args.keys,
+                          flows=args.flows, concurrency=args.concurrency)
+    if args.output is not None:
+        with open(args.output, "w", encoding="utf-8") as stream:
+            json.dump(report, stream, indent=2, sort_keys=True)
+            stream.write("\n")
+    if args.json:
+        print(json.dumps(report, indent=2, sort_keys=True))
+    else:
+        latency = report["latency_ms"]
+        print(f"serve-bench: {report['clients']} clients over "
+              f"{report['distinct_keys']} keys in "
+              f"{report['wall_seconds']}s "
+              f"({report['requests_per_second']} req/s)")
+        print(f"  latency: p50={latency['p50']}ms p90={latency['p90']}ms "
+              f"p99={latency['p99']}ms max={latency['max']}ms")
+        print(f"  outcomes: {report['outcomes']} "
+              f"hit_rate={report['cache_hit_rate']} "
+              f"coalesce_rate={report['coalesce_rate']}")
+        if args.output is not None:
+            print(f"  saved: {args.output}")
+    return 0
+
+
 def _run_metrics_report(args: argparse.Namespace) -> int:
     from .obs.report import metrics_report
 
@@ -737,6 +792,10 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
     if args.command == "scan":
         return _run_scan(args)
+    if args.command == "serve":
+        return _run_serve(args)
+    if args.command == "serve-bench":
+        return _run_serve_bench(args)
     if args.command == "experiment":
         return _run_experiment(args)
     if args.command == "metrics-report":

@@ -41,6 +41,7 @@ from .resilience import (AdaptiveRateController, CheckpointError,
                          ResilienceConfig, RetryTracker, ScanInterrupted,
                          response_from_dict, response_to_dict,
                          write_checkpoint)
+from .scanner import warn_direct_construction
 from .results import ScanResult
 from .targets import hitlist_targets, random_targets
 
@@ -57,6 +58,7 @@ class FlashRoute:
 
     def __init__(self, config: Optional[FlashRouteConfig] = None,
                  telemetry=None) -> None:
+        warn_direct_construction("FlashRoute")
         self.config = config if config is not None else FlashRouteConfig()
         #: Optional :class:`repro.obs.Telemetry`; ``None`` keeps every
         #: path byte-identical to the pre-telemetry engine.

@@ -123,6 +123,32 @@ class ShardPlan:
     events_sample: float = 1.0
     events_ring: Optional[int] = None
 
+    @classmethod
+    def from_request(cls, request, *, collect_metrics: bool = False,
+                     events_format: Optional[str] = None,
+                     events_sample: float = 1.0,
+                     events_ring: Optional[int] = None) -> "ShardPlan":
+        """The plan a :class:`repro.api.ScanRequest` implies.
+
+        The request carries the scan's identity (tool, topology, knobs,
+        faults, shard decomposition); the keyword-only extras are the
+        telemetry *wishes* of this particular run, which are
+        deliberately not part of the serialized request.
+        """
+        return cls(
+            tool=request.tool, topology=request.topology_config(),
+            shards=request.shards if request.shards is not None else 1,
+            shard_index=request.shard_index,
+            slices=request.shard_slices,
+            probing_rate=request.rate, split_ttl=request.split_ttl,
+            gap_limit=request.gap_limit, preprobe=request.preprobe,
+            loss=request.loss, blackout=request.blackout,
+            fault_seed=request.fault_seed,
+            use_route_cache=request.route_cache,
+            retries=request.retries, adaptive_rate=request.adaptive_rate,
+            collect_metrics=collect_metrics, events_format=events_format,
+            events_sample=events_sample, events_ring=events_ring)
+
     def __post_init__(self) -> None:
         if self.shards < 1:
             raise ValueError(f"shards must be >= 1, got {self.shards}")

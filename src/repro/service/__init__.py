@@ -1,0 +1,22 @@
+"""Traceroute-as-a-service: the long-lived asyncio scan daemon.
+
+``flashroute-sim serve`` holds one warm :class:`repro.api.Engine`
+(topology + simulated network, the expensive part) and answers JSON
+trace requests over a local TCP or Unix socket, streaming per-hop
+records in the Manifold hop schema.  Request coalescing, an LRU result
+cache with epoch-based invalidation, and the load-test harness live
+here; see docs/service.md for the wire protocol and operations guide.
+"""
+
+from .daemon import CacheEntry, Flight, ServiceError, TraceService, serve
+from .client import request_trace, trace_stream
+
+__all__ = [
+    "CacheEntry",
+    "Flight",
+    "ServiceError",
+    "TraceService",
+    "request_trace",
+    "serve",
+    "trace_stream",
+]

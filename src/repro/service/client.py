@@ -1,0 +1,71 @@
+"""Minimal clients for the scan daemon's NDJSON protocol.
+
+:func:`trace_stream` is the asyncio building block (the load-test
+harness runs hundreds of these concurrently); :func:`request_trace` is
+the one-call synchronous convenience for scripts and tests.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import List, Optional, Tuple
+
+from .daemon import MAX_LINE
+
+
+async def open_connection(host: Optional[str] = None,
+                          port: Optional[int] = None,
+                          socket_path: Optional[str] = None):
+    if socket_path is not None:
+        return await asyncio.open_unix_connection(socket_path,
+                                                  limit=MAX_LINE)
+    return await asyncio.open_connection(host, port, limit=MAX_LINE)
+
+
+async def send_request(reader: asyncio.StreamReader,
+                       writer: asyncio.StreamWriter,
+                       payload: dict) -> Tuple[List[dict], dict]:
+    """Send one request on an open connection; collect its response.
+
+    Returns ``(hops, terminal)`` where ``terminal`` is the ``done``,
+    ``error``, or control-response record.
+    """
+    writer.write(json.dumps(payload).encode() + b"\n")
+    await writer.drain()
+    hops: List[dict] = []
+    while True:
+        line = await reader.readline()
+        if not line:
+            raise ConnectionError("server closed the connection "
+                                  "mid-response")
+        record = json.loads(line)
+        if record.get("type") == "hop":
+            hops.append(record)
+            continue
+        return hops, record
+
+
+async def trace_stream(payload: dict, host: Optional[str] = None,
+                       port: Optional[int] = None,
+                       socket_path: Optional[str] = None
+                       ) -> Tuple[List[dict], dict]:
+    """One request on a fresh connection (one concurrent client)."""
+    reader, writer = await open_connection(host, port, socket_path)
+    try:
+        return await send_request(reader, writer, payload)
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except Exception:
+            pass
+
+
+def request_trace(payload: dict, host: Optional[str] = None,
+                  port: Optional[int] = None,
+                  socket_path: Optional[str] = None
+                  ) -> Tuple[List[dict], dict]:
+    """Synchronous one-shot: connect, request, collect, disconnect."""
+    return asyncio.run(trace_stream(payload, host=host, port=port,
+                                    socket_path=socket_path))

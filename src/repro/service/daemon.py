@@ -1,0 +1,500 @@
+"""The scan daemon: a warm engine answering streamed trace requests.
+
+Layering:
+
+* :class:`TraceService` — the transport-free core.  Owns the warm
+  :class:`repro.api.Engine`, the in-flight registry (request
+  coalescing), the LRU result cache with epoch-based invalidation and
+  the service counters.  Tests drive it directly, without sockets.
+* :func:`serve` / the connection handler — NDJSON over an asyncio TCP
+  or Unix-domain socket.  One JSON object per line in, one per line
+  out; each connection handles its requests sequentially, concurrency
+  comes from concurrent connections.
+
+Wire protocol (see docs/service.md for the full reference)::
+
+    → {"destination": "20.0.0.7", "flow": 3}
+    ← {"type": "hop", "ip": "60.0.0.0", "ttl": 1, ...}      (per hop)
+    ← {"type": "done", "cache": "miss", "epoch": 0, "trace": {...}}
+
+    → {"control": "stats"}
+    ← {"type": "stats", "requests": 12, "cache_hits": 7, ...}
+
+Coalescing: requests for the same ``(destination, flow)`` while a trace
+is in flight share its probe stream — a late subscriber first replays
+the hops already streamed, then rides along live.  Caching: a finished
+trace is stored under its key, tagged with the **route epoch** it ran
+in; a lookup in a later epoch discards the entry (the simulated
+network's routes flap every ``flap_epoch_seconds``, so the cached path
+may no longer exist).  Cache hits re-stream the stored hops without
+touching the network — the engine's probe counters stay flat.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import json
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import AsyncIterator, Dict, List, Optional, Tuple
+
+from ..api import Engine, ScanRequest, TraceRequest
+
+#: Traces a warm engine can answer per second is bounded by the event
+#: loop, not the virtual network; each *fresh* trace nudges the service's
+#: virtual clock forward by this many virtual seconds, so route epochs
+#: roll over after ``flap_epoch_seconds / TRACE_TICK`` traces and the
+#: cache's epoch invalidation exercises itself in long-running daemons.
+TRACE_TICK = 1.0
+
+#: Default LRU capacity of the result cache (entries, not bytes).
+DEFAULT_CACHE_SIZE = 4096
+
+
+class ServiceError(ValueError):
+    """A client-visible request failure (maps to an ``error`` record)."""
+
+
+@dataclass
+class CacheEntry:
+    """One finished trace, stored under its ``(destination, flow)`` key."""
+
+    epoch: int
+    hops: List[dict]
+    result: dict
+
+
+class Flight:
+    """One in-flight trace and its subscribers.
+
+    The probe stream runs in a detached task; every subscriber —
+    the originating client plus any coalesced late joiners — gets the
+    already-streamed prefix on subscribe, then live records via its own
+    queue.  A subscriber that disconnects unsubscribes its queue; the
+    flight itself always runs to completion so the result is cached for
+    the next request either way.
+    """
+
+    _DONE = object()  # queue sentinel
+
+    def __init__(self, key: Tuple[int, int], epoch: int) -> None:
+        self.key = key
+        self.epoch = epoch
+        self.hops: List[dict] = []
+        self.result: Optional[dict] = None
+        self.error: Optional[str] = None
+        self.done = False
+        self.task: Optional[asyncio.Task] = None
+        self._queues: List[asyncio.Queue] = []
+
+    @property
+    def subscriber_count(self) -> int:
+        return len(self._queues)
+
+    def subscribe(self) -> Tuple[List[dict], Optional[asyncio.Queue]]:
+        """Snapshot the replay prefix and register a live queue.
+
+        Synchronous on purpose: the snapshot and the registration happen
+        in one event-loop step, so no hop can fall between them.  A
+        finished flight returns no queue — the snapshot is complete.
+        """
+        replay = list(self.hops)
+        if self.done:
+            return replay, None
+        queue: asyncio.Queue = asyncio.Queue()
+        self._queues.append(queue)
+        return replay, queue
+
+    def unsubscribe(self, queue: asyncio.Queue) -> None:
+        try:
+            self._queues.remove(queue)
+        except ValueError:
+            pass  # already dropped by finish()
+
+    def publish(self, record: dict) -> None:
+        self.hops.append(record)
+        for queue in self._queues:
+            queue.put_nowait(record)
+
+    def finish(self, result: Optional[dict], error: Optional[str] = None
+               ) -> None:
+        self.result = result
+        self.error = error
+        self.done = True
+        queues, self._queues = self._queues, []
+        for queue in queues:
+            queue.put_nowait(self._DONE)
+
+
+class TraceService:
+    """The daemon's transport-free core: warm engine, coalescing, cache."""
+
+    def __init__(self, engine: Engine,
+                 cache_size: int = DEFAULT_CACHE_SIZE,
+                 trace_tick: float = TRACE_TICK) -> None:
+        if cache_size < 0:
+            raise ValueError("cache_size must be >= 0")
+        self.engine = engine
+        self.cache_size = cache_size
+        self.trace_tick = trace_tick
+        #: The service's virtual clock — trace start times are drawn from
+        #: it, which is what ties results to route epochs.
+        self.now = 0.0
+        self._cache: "OrderedDict[Tuple[int, int], CacheEntry]" = \
+            OrderedDict()
+        self._flights: Dict[Tuple[int, int], Flight] = {}
+        # Counters (all monotonic; surfaced by the stats control op).
+        self.requests = 0
+        self.traces_started = 0
+        self.cache_hits = 0
+        self.coalesced = 0
+        self.errors = 0
+        self.evicted_epoch = 0
+        self.evicted_lru = 0
+        self.probes_sent = 0
+
+    # -- time and epochs -------------------------------------------------
+
+    @property
+    def epoch(self) -> int:
+        return int(self.now / self.engine.flap_epoch_seconds)
+
+    def advance(self, seconds: float) -> None:
+        """Advance the service clock (the ``advance`` control op; crossing
+        an epoch boundary invalidates every cached trace lazily)."""
+        if seconds < 0:
+            raise ServiceError("cannot advance time backwards")
+        self.now += seconds
+
+    # -- cache -----------------------------------------------------------
+
+    def cache_lookup(self, key: Tuple[int, int]) -> Optional[CacheEntry]:
+        entry = self._cache.get(key)
+        if entry is None:
+            return None
+        if entry.epoch != self.epoch:
+            # The routes this trace saw have flapped since; the entry is
+            # stale for good, not just for this request.
+            del self._cache[key]
+            self.evicted_epoch += 1
+            return None
+        self._cache.move_to_end(key)
+        return entry
+
+    def cache_store(self, key: Tuple[int, int], entry: CacheEntry) -> None:
+        if self.cache_size == 0:
+            return
+        self._cache[key] = entry
+        self._cache.move_to_end(key)
+        while len(self._cache) > self.cache_size:
+            self._cache.popitem(last=False)
+            self.evicted_lru += 1
+
+    @property
+    def cache_len(self) -> int:
+        return len(self._cache)
+
+    @property
+    def inflight(self) -> int:
+        return len(self._flights)
+
+    # -- flights ---------------------------------------------------------
+
+    def _start_flight(self, request: TraceRequest) -> Flight:
+        epoch = self.epoch
+        session = self.engine.open_session(request, start_time=self.now)
+        self.now += self.trace_tick
+        self.traces_started += 1
+        flight = Flight(request.key, epoch)
+        self._flights[request.key] = flight
+        flight.task = asyncio.ensure_future(self._run_flight(flight,
+                                                             session))
+        return flight
+
+    async def _run_flight(self, flight: Flight, session) -> None:
+        try:
+            for record in session.stream():
+                flight.publish(record)
+                # One hop per event-loop step: concurrent flights
+                # interleave their probes on the shared warm network
+                # (safe — each runs in its own network session view).
+                await asyncio.sleep(0)
+            result = session.result()
+            self.probes_sent += session.network.probes_sent
+            self.cache_store(flight.key,
+                             CacheEntry(epoch=flight.epoch,
+                                        hops=list(flight.hops),
+                                        result=result))
+            flight.finish(result)
+        except asyncio.CancelledError:
+            flight.finish(None, error="trace cancelled (shutdown)")
+            raise
+        except Exception as exc:  # surface, never kill the daemon
+            flight.finish(None, error=f"trace failed: {exc}")
+        finally:
+            if self._flights.get(flight.key) is flight:
+                del self._flights[flight.key]
+
+    # -- request handling ------------------------------------------------
+
+    async def handle_trace(self, payload: dict) -> AsyncIterator[dict]:
+        """Serve one trace request as a stream of protocol records.
+
+        Yields ``hop`` records followed by exactly one terminal record
+        (``done`` or ``error``).  Raises nothing: malformed requests
+        become ``error`` records.
+        """
+        self.requests += 1
+        try:
+            request = TraceRequest.parse(payload)
+            key = request.key
+            cached = self.cache_lookup(key)
+            if cached is not None:
+                self.cache_hits += 1
+                for record in cached.hops:
+                    yield {"type": "hop", **record}
+                yield {"type": "done", "cache": "hit",
+                       "epoch": cached.epoch, "trace": cached.result}
+                return
+            flight = self._flights.get(key)
+            if flight is not None:
+                self.coalesced += 1
+                mode = "coalesced"
+            else:
+                # TraceSession construction validates the destination
+                # against the engine's address space (ValueError).
+                flight = self._start_flight(request)
+                mode = "miss"
+        except (ServiceError, ValueError) as exc:
+            self.errors += 1
+            yield {"type": "error", "error": str(exc)}
+            return
+        replay, queue = flight.subscribe()
+        try:
+            for record in replay:
+                yield {"type": "hop", **record}
+            if queue is not None:
+                while True:
+                    item = await queue.get()
+                    if item is Flight._DONE:
+                        break
+                    yield {"type": "hop", **item}
+        finally:
+            # A disconnected client must not leave its queue behind on a
+            # still-running flight.
+            if queue is not None:
+                flight.unsubscribe(queue)
+        if flight.error is not None:
+            self.errors += 1
+            yield {"type": "error", "error": flight.error}
+        else:
+            yield {"type": "done", "cache": mode, "epoch": flight.epoch,
+                   "trace": flight.result}
+
+    def handle_control(self, payload: dict) -> dict:
+        op = payload.get("control")
+        if op == "ping":
+            return {"type": "pong"}
+        if op == "stats":
+            return {"type": "stats", **self.stats()}
+        if op == "advance":
+            seconds = payload.get("seconds")
+            if not isinstance(seconds, (int, float)) \
+                    or isinstance(seconds, bool):
+                raise ServiceError("advance needs numeric 'seconds'")
+            self.advance(float(seconds))
+            return {"type": "ok", "now": self.now, "epoch": self.epoch}
+        raise ServiceError(f"unknown control op {op!r}")
+
+    def stats(self) -> dict:
+        """The counters snapshot (also the CI metrics artifact)."""
+        return {
+            "requests": self.requests,
+            "traces_started": self.traces_started,
+            "cache_hits": self.cache_hits,
+            "coalesced": self.coalesced,
+            "errors": self.errors,
+            "probes_sent": self.probes_sent,
+            "cache_entries": self.cache_len,
+            "cache_evicted_epoch": self.evicted_epoch,
+            "cache_evicted_lru": self.evicted_lru,
+            "inflight": self.inflight,
+            "now": self.now,
+            "epoch": self.epoch,
+            "address_space": self.engine.address_space(),
+        }
+
+    async def drain(self) -> None:
+        """Wait for every in-flight trace to finish (tests, shutdown)."""
+        tasks = [flight.task for flight in self._flights.values()
+                 if flight.task is not None]
+        if tasks:
+            await asyncio.gather(*tasks, return_exceptions=True)
+
+
+# --------------------------------------------------------------------- #
+# NDJSON transport
+# --------------------------------------------------------------------- #
+
+#: Generous per-line cap: a trace request is tens of bytes; anything
+#: beyond this is a confused or hostile client.
+MAX_LINE = 64 * 1024
+
+
+async def _write_record(writer: asyncio.StreamWriter, record: dict) -> None:
+    writer.write(json.dumps(record, sort_keys=True,
+                            separators=(",", ":")).encode() + b"\n")
+    await writer.drain()
+
+
+async def _handle_connection(service: TraceService,
+                             shutdown: asyncio.Event,
+                             reader: asyncio.StreamReader,
+                             writer: asyncio.StreamWriter) -> None:
+    try:
+        while True:
+            try:
+                line = await reader.readline()
+            except (asyncio.LimitOverrunError, ValueError):
+                await _write_record(writer, {
+                    "type": "error", "error": "request line too long"})
+                break
+            if not line:
+                break
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                payload = json.loads(line)
+            except json.JSONDecodeError as exc:
+                service.errors += 1
+                await _write_record(writer, {
+                    "type": "error", "error": f"invalid JSON: {exc}"})
+                continue
+            if not isinstance(payload, dict):
+                service.errors += 1
+                await _write_record(writer, {
+                    "type": "error",
+                    "error": "request must be a JSON object"})
+                continue
+            #: Clients may tag a request with an ``id``; it is echoed on
+            #: every record of the response, so one connection's
+            #: sequential responses can be matched up client-side.
+            request_id = payload.pop("id", None)
+
+            def stamped(record: dict) -> dict:
+                if request_id is not None:
+                    return {"id": request_id, **record}
+                return record
+
+            if "control" in payload:
+                if payload.get("control") == "shutdown":
+                    await _write_record(writer, stamped({"type": "ok",
+                                                         "shutdown": True}))
+                    shutdown.set()
+                    break
+                try:
+                    response = service.handle_control(payload)
+                except ServiceError as exc:
+                    service.errors += 1
+                    response = {"type": "error", "error": str(exc)}
+                await _write_record(writer, stamped(response))
+                continue
+            async for record in service.handle_trace(payload):
+                await _write_record(writer, stamped(record))
+    except (ConnectionResetError, BrokenPipeError):
+        pass  # client went away mid-stream; flights keep running
+    finally:
+        writer.close()
+        # CancelledError included: the loop may tear this handler down
+        # while the transport drains; the close is already issued.
+        with contextlib.suppress(Exception, asyncio.CancelledError):
+            await writer.wait_closed()
+
+
+@dataclass
+class ServerHandle:
+    """What :func:`start_service` hands back: enough to talk and stop."""
+
+    service: TraceService
+    server: asyncio.AbstractServer
+    shutdown: asyncio.Event
+    host: Optional[str] = None
+    port: Optional[int] = None
+    socket_path: Optional[str] = None
+    #: Addresses the OS actually bound (resolves ``port=0``).
+    bound: Tuple = field(default_factory=tuple)
+
+    async def close(self) -> None:
+        self.server.close()
+        await self.server.wait_closed()
+        await self.service.drain()
+
+
+async def start_service(engine: Engine,
+                        host: str = "127.0.0.1", port: int = 0,
+                        socket_path: Optional[str] = None,
+                        cache_size: int = DEFAULT_CACHE_SIZE,
+                        trace_tick: float = TRACE_TICK) -> ServerHandle:
+    """Bind the daemon and return a handle (used by serve() and tests)."""
+    service = TraceService(engine, cache_size=cache_size,
+                           trace_tick=trace_tick)
+    shutdown = asyncio.Event()
+
+    def factory(reader, writer):
+        return _handle_connection(service, shutdown, reader, writer)
+
+    if socket_path is not None:
+        server = await asyncio.start_unix_server(factory, path=socket_path,
+                                                 limit=MAX_LINE)
+        return ServerHandle(service=service, server=server,
+                            shutdown=shutdown, socket_path=socket_path)
+    server = await asyncio.start_server(factory, host=host, port=port,
+                                        limit=MAX_LINE)
+    bound = tuple(sock.getsockname() for sock in server.sockets)
+    actual_port = bound[0][1] if bound else port
+    return ServerHandle(service=service, server=server, shutdown=shutdown,
+                        host=host, port=actual_port, bound=bound)
+
+
+async def _serve_async(request: ScanRequest, host: str, port: int,
+                       socket_path: Optional[str],
+                       cache_size: int, trace_tick: float,
+                       announce=print) -> TraceService:
+    engine = Engine.from_request(request)
+    handle = await start_service(engine, host=host, port=port,
+                                 socket_path=socket_path,
+                                 cache_size=cache_size,
+                                 trace_tick=trace_tick)
+    if socket_path is not None:
+        announce(f"flashroute-sim serve: listening on {socket_path} "
+                 f"(unix), space {engine.address_space()}")
+    else:
+        announce(f"flashroute-sim serve: listening on "
+                 f"{handle.host}:{handle.port}, space "
+                 f"{engine.address_space()}")
+    try:
+        await handle.shutdown.wait()
+    finally:
+        await handle.close()
+    return handle.service
+
+
+def serve(request: Optional[ScanRequest] = None, *,
+          host: str = "127.0.0.1", port: int = 4792,
+          socket_path: Optional[str] = None,
+          cache_size: int = DEFAULT_CACHE_SIZE,
+          trace_tick: float = TRACE_TICK,
+          announce=print) -> TraceService:
+    """Run the daemon until a ``shutdown`` control op (or ^C).
+
+    ``request`` describes the warm engine (topology size/seed and route
+    cache mode); trace-irrelevant scan fields are ignored.  Returns the
+    final :class:`TraceService` so callers can read the counters after
+    shutdown.
+    """
+    if request is None:
+        request = ScanRequest()
+    return asyncio.run(_serve_async(request, host, port, socket_path,
+                                    cache_size, trace_tick, announce))

@@ -1,0 +1,127 @@
+"""Load-test harness for the scan daemon.
+
+Boots a real daemon on a loopback socket, fires a burst of concurrent
+clients at it (each on its own connection), and reports wall-clock
+latency percentiles plus the service's own counters — the numbers
+``BENCH_service_latency.json`` and the CI ``service-smoke`` job pin.
+
+The request mix cycles over a bounded set of ``(destination, flow)``
+keys, smaller than the client count, so the burst exercises all three
+serving paths: fresh traces, mid-flight coalescing, and cache hits.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from typing import Dict, List, Optional
+
+from ..api import Engine, ScanRequest
+from ..net.addr import int_to_ip
+from .client import trace_stream
+from .daemon import DEFAULT_CACHE_SIZE, start_service
+
+
+def percentile(sorted_values: List[float], fraction: float) -> float:
+    """Nearest-rank percentile over an ascending list."""
+    if not sorted_values:
+        raise ValueError("no values")
+    rank = max(0, min(len(sorted_values) - 1,
+                      round(fraction * (len(sorted_values) - 1))))
+    return sorted_values[rank]
+
+
+def build_payloads(engine: Engine, clients: int, keys: int,
+                   flows: int) -> List[Dict[str, object]]:
+    """A deterministic request mix: ``clients`` requests cycling over
+    ``keys`` distinct ``(destination, flow)`` identities spread across
+    the engine's prefixes."""
+    if keys < 1:
+        raise ValueError("keys must be >= 1")
+    base = engine.topology.base_prefix
+    num = engine.topology.num_prefixes
+    payloads = []
+    for index in range(clients):
+        key = index % keys
+        prefix = base + (key * 7919) % num
+        destination = (prefix << 8) + 1 + (key % 200)
+        payloads.append({"destination": int_to_ip(destination),
+                         "flow": key % max(1, flows),
+                         "id": index})
+    return payloads
+
+
+async def _run(prefixes: int, seed: int, clients: int, keys: int,
+               flows: int, cache_size: int,
+               concurrency: Optional[int]) -> Dict[str, object]:
+    engine = Engine.from_request(ScanRequest(prefixes=prefixes, seed=seed))
+    handle = await start_service(engine, host="127.0.0.1", port=0,
+                                 cache_size=cache_size)
+    payloads = build_payloads(engine, clients, keys, flows)
+    # Warm half the key set sequentially (unmeasured) so the measured
+    # burst exercises every serving path: warmed keys hit the cache,
+    # cold keys trace fresh and coalesce their concurrent duplicates.
+    warm = build_payloads(engine, (keys + 1) // 2, keys, flows)
+    for payload in warm:
+        await trace_stream(payload, host=handle.host, port=handle.port)
+    gate = asyncio.Semaphore(concurrency) if concurrency else None
+    latencies_ms: List[float] = []
+    outcomes = {"hit": 0, "miss": 0, "coalesced": 0, "error": 0}
+
+    async def one_client(payload: Dict[str, object]) -> None:
+        if gate is not None:
+            await gate.acquire()
+        try:
+            start = time.perf_counter()
+            hops, final = await trace_stream(payload, host=handle.host,
+                                             port=handle.port)
+            latencies_ms.append((time.perf_counter() - start) * 1000.0)
+            if final.get("type") == "done":
+                outcomes[final["cache"]] += 1
+            else:
+                outcomes["error"] += 1
+        finally:
+            if gate is not None:
+                gate.release()
+
+    wall_start = time.perf_counter()
+    await asyncio.gather(*(one_client(payload) for payload in payloads))
+    wall_seconds = time.perf_counter() - wall_start
+    stats = handle.service.stats()
+    await handle.close()
+
+    latencies_ms.sort()
+    total = max(1, len(latencies_ms))
+    return {
+        "clients": clients,
+        "distinct_keys": keys,
+        "concurrency": concurrency,
+        "prefixes": prefixes,
+        "seed": seed,
+        "wall_seconds": round(wall_seconds, 3),
+        "requests_per_second": round(clients / wall_seconds, 1),
+        "latency_ms": {
+            "p50": round(percentile(latencies_ms, 0.50), 3),
+            "p90": round(percentile(latencies_ms, 0.90), 3),
+            "p99": round(percentile(latencies_ms, 0.99), 3),
+            "max": round(latencies_ms[-1], 3),
+        },
+        "outcomes": outcomes,
+        "cache_hit_rate": round(outcomes["hit"] / total, 4),
+        "coalesce_rate": round(outcomes["coalesced"] / total, 4),
+        "service": stats,
+    }
+
+
+def run_loadtest(prefixes: int = 256, seed: int = 20201027,
+                 clients: int = 1000, keys: int = 64, flows: int = 4,
+                 cache_size: int = DEFAULT_CACHE_SIZE,
+                 concurrency: Optional[int] = None) -> Dict[str, object]:
+    """Run the burst and return the latency/counter report.
+
+    ``concurrency=None`` opens every client connection at once (the
+    full-burst mode the acceptance numbers use); an integer gates the
+    burst through a semaphore for gentler environments.
+    """
+    return asyncio.run(_run(prefixes, seed, clients, keys, flows,
+                            cache_size, concurrency))

@@ -167,6 +167,66 @@ class SimulatedNetwork:
         if fault_state is not None and self.faults is not None:
             self.faults.restore_counters(fault_state)
 
+    def open_session(self, faults: Optional[FaultModel] = None,
+                     use_route_cache: Optional[bool] = None,
+                     rate_limit: Optional[int] = None,
+                     log_probes: bool = False) -> "SimulatedNetwork":
+        """A per-scan *session view* over this network's warm core.
+
+        The view shares the immutable :class:`Topology`, the stateless
+        :class:`LatencyModel` and (by default) the warm
+        :class:`RouteCache` — everything that is a pure function of the
+        topology — while owning every piece of dynamic per-scan state
+        privately: fresh rate-limiter bins, zeroed send/response/fault
+        counters, its own last-key memo and (when ``faults`` enables one)
+        its own :class:`FaultInjector`.
+
+        Sessions opened off one warm network are therefore **mutually
+        invisible**: interleaving probes from two sessions — each on its
+        own virtual clock, as the service daemon does — yields exactly
+        the responses each session would see run back to back (pinned by
+        ``tests/test_network_session.py``).  A bare shared network cannot
+        promise that: its one-second rate-limiter bins are keyed by
+        virtual send time, so two scans whose clocks overlap would fill
+        each other's bins.
+
+        ``use_route_cache=None`` inherits this network's serving mode
+        (sharing the warm cache when one exists); ``True``/``False``
+        force the cached/uncached path for this session only.  Sharing
+        the cache is safe: outcome tables are deterministic pure
+        functions of the topology, and lazily realized slots are
+        idempotent, so concurrent sessions can only ever write the same
+        values.
+        """
+        cfg = self.topology.config
+        session = SimulatedNetwork.__new__(SimulatedNetwork)
+        session.topology = self.topology
+        model = faults if faults is not None else cfg.faults
+        session.faults = FaultInjector(model) if model.enabled else None
+        session.latency = self.latency
+        session.rate_limiter = IcmpRateLimiter(
+            rate_limit if rate_limit is not None else cfg.icmp_rate_limit,
+            num_interfaces=len(self.topology.iface_addrs))
+        if use_route_cache is None:
+            session.route_cache = self.route_cache
+        elif use_route_cache:
+            session.route_cache = (self.route_cache
+                                   if self.route_cache is not None
+                                   else RouteCache(self.topology))
+        else:
+            session.route_cache = None
+        session._stamp_len = (len(session.rate_limiter._stamp)
+                              if session.rate_limiter._stamp is not None
+                              else -1)
+        session.probe_log = ProbeLog() if log_probes else None
+        session.probes_sent = 0
+        session.responses_generated = 0
+        session.rewritten_responses = 0
+        session._flap_epoch_seconds = cfg.flap_epoch_seconds
+        session._vantage = self.topology.vantage_addr
+        session._lk = None
+        return session
+
     def set_route_cache_enabled(self, enabled: bool) -> bool:
         """Enable/disable the route-cache fast path; returns the previous
         setting.  Disabling drops the cache; re-enabling builds a cold one."""

@@ -1,0 +1,299 @@
+"""The repro.api facade: requests, engine/sessions, CLI equivalence.
+
+The headline pin: the one-shot ``scan`` CLI rewired through
+``Engine.open_session()`` must produce output **byte-identical** to the
+pre-facade CLI for the same seed.  The golden sha256 fingerprints below
+were captured from the direct-construction CLI immediately before the
+refactor; these tests re-run the same invocations through the facade
+and compare.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+
+import pytest
+
+from repro import api
+from repro.cli import main
+from repro.core.scanner import create_scanner, ScannerOptions
+from repro.core.sharding import ShardPlan
+
+# Captured from the pre-refactor CLI (direct Topology/SimulatedNetwork/
+# FlashRoute construction), not regenerated since.
+GOLDEN_A_JSON = \
+    "4b558c41438fe1df0fc1de893a80de4644aa0b657cf0bedd246d1e9f61707188"
+GOLDEN_A_EVENTS = \
+    "437ee2cbf6dbe2e4b5d5e91b147115750e05aedd28ee06ce72289af8c256d781"
+GOLDEN_A_METRICS = \
+    "144a4146e92cbdee2716854f146845eb4d67716d3d92e7941d6cd9fe380128af"
+GOLDEN_A_SUMMARY = "FlashRoute-16: interfaces=269 probes=1,004 time=16:47.00"
+GOLDEN_B_JSON = \
+    "e0f35117d39528a7ea1162784e69ed91c373dc98c1393bef1e63743b53813bb5"
+GOLDEN_B_STDOUT = \
+    "2a931c7e7c8e94e69a8ac265f474d02d5efa6a70fef9cdaa5f6af4d123950ba9"
+
+
+def _sha(path) -> str:
+    return hashlib.sha256(path.read_bytes()).hexdigest()
+
+
+class TestGoldenEquivalence:
+    """Post-refactor CLI output is byte-identical to the pre-facade CLI."""
+
+    def test_scan_outputs_match_pre_refactor_cli(self, tmp_path, capsys):
+        out = tmp_path / "a.json"
+        events = tmp_path / "a_events.jsonl"
+        metrics = tmp_path / "a_metrics.json"
+        assert main(["scan", "--tool", "flashroute-16", "--prefixes", "96",
+                     "--seed", "20201027", "--output", str(out),
+                     "--events", str(events),
+                     "--metrics-out", str(metrics)]) == 0
+        assert capsys.readouterr().out.splitlines()[0] == GOLDEN_A_SUMMARY
+        assert _sha(out) == GOLDEN_A_JSON
+        assert _sha(events) == GOLDEN_A_EVENTS
+        from repro.obs.metrics import deterministic_snapshot, load_snapshot
+
+        snap = deterministic_snapshot(load_snapshot(str(metrics)))
+        digest = hashlib.sha256(json.dumps(
+            snap, sort_keys=True, separators=(",", ":")).encode()).hexdigest()
+        assert digest == GOLDEN_A_METRICS
+
+    def test_faulted_json_scan_matches_pre_refactor_cli(self, tmp_path,
+                                                        capsys):
+        out = tmp_path / "b.json"
+        assert main(["scan", "--tool", "yarrp-32-udp-sim", "--prefixes",
+                     "64", "--seed", "11", "--loss", "0.05", "--fault-seed",
+                     "7", "--retries", "1", "--json",
+                     "--output", str(out)]) == 0
+        stdout = capsys.readouterr().out
+        assert _sha(out) == GOLDEN_B_JSON
+        assert hashlib.sha256(stdout.encode()).hexdigest() == GOLDEN_B_STDOUT
+
+
+class TestScanRequest:
+    def test_round_trips_through_dict(self):
+        request = api.ScanRequest(tool="yarrp-16", prefixes=128, seed=7,
+                                  split_ttl=12, gap_limit=3,
+                                  preprobe="none", rate=250.0, loss=0.1,
+                                  blackout=0.05, fault_seed=3,
+                                  route_cache=False, retries=2,
+                                  adaptive_rate=True, shards=4,
+                                  shard_index=1, shard_slices=32)
+        payload = request.to_dict()
+        assert json.loads(json.dumps(payload)) == payload  # JSON-able
+        assert api.ScanRequest.from_dict(payload) == request
+        assert api.ScanRequest.from_dict(payload, complete=True) == request
+
+    def test_defaults_round_trip(self):
+        request = api.ScanRequest()
+        assert api.ScanRequest.from_dict(request.to_dict(),
+                                         complete=True) == request
+
+    def test_rejects_unknown_fields(self):
+        with pytest.raises(ValueError, match="unknown scan request field"):
+            api.ScanRequest.from_dict({"tool": "flashroute-16",
+                                       "granularity": 24})
+
+    def test_complete_rejects_missing_fields(self):
+        payload = api.ScanRequest().to_dict()
+        del payload["fault_seed"]
+        api.ScanRequest.from_dict(payload)  # partial is fine by default
+        with pytest.raises(ValueError, match="missing field"):
+            api.ScanRequest.from_dict(payload, complete=True)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            api.ScanRequest(prefixes=0)
+        with pytest.raises(ValueError):
+            api.ScanRequest(loss=1.0)
+        with pytest.raises(ValueError):
+            api.ScanRequest(rate=-1.0)
+        with pytest.raises(ValueError):
+            api.ScanRequest(retries=-1)
+
+    def test_shard_plan_from_request_matches_hand_built(self):
+        request = api.ScanRequest(tool="yarrp-32", prefixes=64, seed=5,
+                                  loss=0.02, fault_seed=9, shards=2,
+                                  shard_slices=8, retries=1)
+        plan = ShardPlan.from_request(request, collect_metrics=True,
+                                      events_format="jsonl")
+        expected = ShardPlan(
+            tool="yarrp-32", topology=request.topology_config(),
+            shards=2, shard_index=None, slices=8,
+            loss=0.02, fault_seed=9, retries=1,
+            collect_metrics=True, events_format="jsonl")
+        assert plan == expected
+
+
+class TestTraceRequest:
+    def test_parse_dotted_and_int(self):
+        a = api.TraceRequest.parse({"destination": "20.0.0.7", "flow": 3})
+        b = api.TraceRequest.parse({"destination": (20 << 24) + 7,
+                                    "flow": 3})
+        assert a == b
+        assert a.key == ((20 << 24) + 7, 3)
+
+    def test_parse_rejects_malformed(self):
+        with pytest.raises(ValueError, match="needs a 'destination'"):
+            api.TraceRequest.parse({"flow": 1})
+        with pytest.raises(ValueError, match="not an IPv4 address"):
+            api.TraceRequest.parse({"destination": "999.1.2.3"})
+        with pytest.raises(ValueError, match="unknown trace request"):
+            api.TraceRequest.parse({"destination": "20.0.0.7", "ttl": 4})
+        with pytest.raises(ValueError, match="must be an integer"):
+            api.TraceRequest.parse({"destination": "20.0.0.7",
+                                    "flow": "three"})
+        with pytest.raises(ValueError, match="JSON object"):
+            api.TraceRequest.parse(["20.0.0.7"])
+
+    def test_field_validation(self):
+        with pytest.raises(ValueError):
+            api.TraceRequest(destination=-1)
+        with pytest.raises(ValueError):
+            api.TraceRequest(destination=1, flow=70000)
+        with pytest.raises(ValueError):
+            api.TraceRequest(destination=1, max_ttl=0)
+
+
+def _engine(prefixes=64, seed=20201027):
+    return api.Engine.from_request(api.ScanRequest(prefixes=prefixes,
+                                                   seed=seed))
+
+
+class TestEngineSessions:
+    def test_scan_session_matches_registry_path(self):
+        request = api.ScanRequest(tool="flashroute-16", prefixes=64)
+        via_api = api.scan(request)
+        from repro.simnet import SimulatedNetwork, Topology
+
+        network = SimulatedNetwork(Topology(request.topology_config()),
+                                   faults=request.fault_model())
+        via_registry = create_scanner(
+            "flashroute-16", ScannerOptions()).scan(network)
+        assert via_api.fingerprint() == via_registry.fingerprint()
+        assert via_api.probes_sent == via_registry.probes_sent
+
+    def test_scan_overrides_build_request(self):
+        result = api.scan(tool="yarrp-16", prefixes=64, seed=3)
+        again = api.scan(api.ScanRequest(tool="yarrp-16", prefixes=64,
+                                         seed=3))
+        assert result.fingerprint() == again.fingerprint()
+
+    def test_sharded_scan_dispatch_invariant_in_worker_count(self):
+        # A request with shards set routes through the sharded executor;
+        # the merged result must not depend on the worker count (PR 6's
+        # contract — the slice decomposition, not the shard count, is
+        # what defines the output).
+        request = api.ScanRequest(tool="flashroute-16", prefixes=64,
+                                  shard_slices=4)
+        one = api.scan(dataclasses.replace(request, shards=1))
+        two = api.scan(dataclasses.replace(request, shards=2))
+        assert two.fingerprint() == one.fingerprint()
+
+    def test_trace_session_streams_manifold_hops(self):
+        engine = _engine()
+        request = api.TraceRequest.parse({"destination": "20.0.0.7",
+                                          "flow": 2})
+        session = engine.open_session(request)
+        hops = list(session.stream())
+        assert hops, "expected at least one hop"
+        for hop in hops:
+            assert set(hop) == {"ip", "ttl", "hop_probecount", "path",
+                                "source", "destination", "rtt_ms"}
+            assert hop["destination"] == "20.0.0.7"
+            assert hop["path"] == 2
+        ttls = [hop["ttl"] for hop in hops]
+        assert ttls == sorted(ttls)
+        result = session.result()
+        assert result["hop_count"] == len(hops)
+        assert result["hops"] == hops
+        assert result["probes"] >= len(hops)
+
+    def test_trace_is_deterministic_per_engine(self):
+        request = api.TraceRequest.parse({"destination": "20.0.0.9"})
+        first = _engine().open_session(request).run()
+        second = _engine().open_session(request).run()
+        assert first == second
+
+    def test_trace_outside_space_rejected(self):
+        engine = _engine(prefixes=64)
+        with pytest.raises(ValueError, match="outside the simulated"):
+            engine.open_session(api.TraceRequest.parse(
+                {"destination": "99.0.0.1"}))
+
+    def test_trace_needs_engine(self):
+        with pytest.raises(ValueError, match="explicit engine"):
+            api.open_session(api.TraceRequest(destination=(20 << 24) + 1))
+
+    def test_open_session_type_checked(self):
+        with pytest.raises(TypeError):
+            _engine().open_session({"destination": "20.0.0.1"})
+
+    def test_sessions_share_warm_route_cache(self):
+        engine = _engine()
+        request = api.ScanRequest(tool="flashroute-16", prefixes=64)
+        first = engine.open_session(request)
+        assert first.network.route_cache is engine.network.route_cache
+        second = engine.open_session(request)
+        assert second.network.route_cache is first.network.route_cache
+
+
+class TestDeprecation:
+    """Direct engine construction warns; sanctioned paths stay silent."""
+
+    def test_direct_flashroute_construction_warns(self):
+        from repro.core.prober import FlashRoute
+
+        with pytest.warns(DeprecationWarning,
+                          match="constructing FlashRoute directly"):
+            FlashRoute()
+
+    def test_direct_baseline_construction_warns(self):
+        from repro.baselines.yarrp import Yarrp, YarrpConfig
+        from repro.baselines.scamper import Scamper
+        from repro.baselines.traceroute import TracerouteScanner
+
+        with pytest.warns(DeprecationWarning, match="Yarrp"):
+            Yarrp(YarrpConfig.yarrp_32())
+        with pytest.warns(DeprecationWarning, match="Scamper"):
+            Scamper()
+        with pytest.warns(DeprecationWarning, match="TracerouteScanner"):
+            TracerouteScanner()
+
+    @pytest.mark.filterwarnings(
+        "error:constructing \\w+ directly:DeprecationWarning")
+    def test_sanctioned_paths_do_not_warn(self):
+        # With the deprecation escalated to an error, every blessed
+        # construction path must stay silent.
+        create_scanner("flashroute-16", ScannerOptions())
+        api.flashroute()
+        api.yarrp()
+        api.scamper()
+        api.traceroute_scanner()
+        api.scan(tool="traceroute", prefixes=4)
+
+    @pytest.mark.filterwarnings(
+        "error:constructing \\w+ directly:DeprecationWarning")
+    def test_discovery_mode_is_sanctioned(self):
+        from repro.core.discovery import run_discovery_optimized
+        from repro.simnet import SimulatedNetwork, Topology, TopologyConfig
+
+        network = SimulatedNetwork(Topology(TopologyConfig(num_prefixes=8)))
+        run_discovery_optimized(network, extra_scans=1)
+
+
+class TestCliServeBench:
+    def test_serve_bench_writes_report(self, tmp_path, capsys):
+        out = tmp_path / "bench.json"
+        assert main(["serve-bench", "--prefixes", "32", "--clients", "20",
+                     "--keys", "4", "--output", str(out)]) == 0
+        report = json.loads(out.read_text())
+        assert report["clients"] == 20
+        assert report["latency_ms"]["p99"] >= report["latency_ms"]["p50"]
+        total = sum(report["outcomes"].values())
+        assert total == 20
+        stdout = capsys.readouterr().out
+        assert "serve-bench: 20 clients" in stdout
