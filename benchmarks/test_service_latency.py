@@ -15,6 +15,12 @@ report pins nonzero cache-hit and coalesce rates.
 Acceptance: zero client-visible errors, every request served (hits +
 misses + coalesced == clients), nonzero cache-hit and coalesce rates,
 and a sane latency distribution (p50 <= p90 <= p99 <= max).
+
+PR 8 adds the observability-overhead row: the same burst runs once
+telemetry-off (the main report — the zero-overhead default) and once
+telemetry-on (request tracing contexts, per-outcome histograms, wall
+twins), and the report's ``telemetry_overhead`` section pins full-burst
+p99(on) <= 1.15 x p99(off).
 """
 
 from __future__ import annotations
@@ -35,10 +41,46 @@ _FLOWS = 4
 _PREFIXES = 256
 
 
+#: Telemetry must stay cheap enough to leave on in production: the
+#: instrumented burst's p99 may cost at most this factor over the
+#: uninstrumented one.
+TELEMETRY_OVERHEAD_LIMIT = 1.15
+
+#: Full-burst wall latency on a shared container is noisy (a single
+#: run's p99 swings tens of percent with no code change), so the
+#: overhead ratio compares the best p99 of this many runs per mode —
+#: the standard noise-resistant estimator for "how fast can it go".
+_OVERHEAD_RUNS = int(os.environ.get("REPRO_BENCH_OVERHEAD_RUNS", "3"))
+
+
 def run_service_benchmark():
     report = run_loadtest(prefixes=_PREFIXES, clients=_CLIENTS,
                           keys=_KEYS, flows=_FLOWS)
     report["benchmark"] = "service_latency"
+    off_p99s = [report["latency_ms"]["p99"]]
+    on_p99s = []
+    instrumented = None
+    # Alternate modes so drift on the shared machine hits both equally.
+    for _ in range(_OVERHEAD_RUNS):
+        instrumented = run_loadtest(prefixes=_PREFIXES,
+                                    clients=_CLIENTS, keys=_KEYS,
+                                    flows=_FLOWS, telemetry=True)
+        on_p99s.append(instrumented["latency_ms"]["p99"])
+        if len(off_p99s) < _OVERHEAD_RUNS:
+            off_p99s.append(run_loadtest(
+                prefixes=_PREFIXES, clients=_CLIENTS, keys=_KEYS,
+                flows=_FLOWS)["latency_ms"]["p99"])
+    off_p99, on_p99 = min(off_p99s), min(on_p99s)
+    report["telemetry_overhead"] = {
+        "off_p99_ms": off_p99,
+        "on_p99_ms": on_p99,
+        "off_p99_runs_ms": off_p99s,
+        "on_p99_runs_ms": on_p99s,
+        "ratio": round(on_p99 / off_p99, 3),
+        "criterion": f"min-of-{_OVERHEAD_RUNS} on_p99 <= "
+                     f"{TELEMETRY_OVERHEAD_LIMIT} * off_p99",
+        "telemetry_on_latency_ms": instrumented["latency_ms"],
+    }
     return report
 
 
@@ -72,3 +114,14 @@ def test_service_latency_report(benchmark, save_result):
     latency = report["latency_ms"]
     assert 0 < latency["p50"] <= latency["p90"] <= latency["p99"], latency
     assert latency["p99"] <= latency["max"], latency
+
+    # Per-outcome breakdown: every serving class reports its own tail,
+    # and the classes partition the burst.
+    breakdown = report["latency_ms_by_outcome"]
+    assert set(breakdown) == {"fresh", "hit", "coalesced"}, breakdown
+    assert sum(row["count"] for row in breakdown.values()) \
+        == report["clients"], breakdown
+
+    # Observability must be cheap enough to leave on.
+    overhead = report["telemetry_overhead"]
+    assert overhead["ratio"] <= TELEMETRY_OVERHEAD_LIMIT, overhead

@@ -343,6 +343,20 @@ class Engine:
         invalidation clock is keyed to this)."""
         return self.topology.config.flap_epoch_seconds
 
+    def warmth(self) -> Dict[str, object]:
+        """What the warm core is holding — the readiness picture the
+        service ``health`` op reports (an engine only exists once the
+        topology and network are built, so ``warm`` is definitionally
+        true; the route-cache occupancy shows how warm)."""
+        cache = self.network.stats()["route_cache"]
+        return {
+            "warm": True,
+            "prefixes": self.topology.num_prefixes,
+            "address_space": self.address_space(),
+            "route_cache_entries": (cache["entries"]
+                                    if cache is not None else None),
+        }
+
     # -- sessions --------------------------------------------------------
 
     def open_session(self, request, telemetry=None,

@@ -96,6 +96,17 @@ def _positive_float(text: str) -> float:
     return value
 
 
+def _nonneg_float(text: str) -> float:
+    try:
+        value = float(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"{text!r} is not a number")
+    if value < 0:
+        raise argparse.ArgumentTypeError(
+            f"must be non-negative, got {value}")
+    return value
+
+
 def _nonneg_int(text: str) -> int:
     try:
         value = int(text)
@@ -269,6 +280,42 @@ def _build_parser() -> argparse.ArgumentParser:
                        metavar="N",
                        help="LRU result-cache capacity in traces "
                             "(0 disables caching)")
+    serve.add_argument("--telemetry", action="store_true",
+                       help="enable service observability (request ids, "
+                            "latency histograms, the metrics/health "
+                            "control ops); implied by --trace and "
+                            "--metrics-out")
+    serve.add_argument("--trace", metavar="FILE", default=None,
+                       help="write per-request span trees as JSONL "
+                            "(implies --telemetry)")
+    serve.add_argument("--metrics-out", metavar="FILE", default=None,
+                       help="write the final metrics snapshot on "
+                            "shutdown (metrics-report compatible; "
+                            "implies --telemetry)")
+    serve.add_argument("--slow-ms", type=_nonneg_float, default=None,
+                       metavar="MS",
+                       help="wall-latency threshold for the slow-request "
+                            "log (0 logs every request; default 500)")
+
+    top = sub.add_parser(
+        "top",
+        help="live terminal dashboard over a running daemon "
+             "(polls stats/health/metrics)")
+    top.add_argument("--host", default="127.0.0.1",
+                     help="daemon TCP address (default 127.0.0.1)")
+    top.add_argument("--port", type=int, default=4792,
+                     help="daemon TCP port (default 4792)")
+    top.add_argument("--socket", metavar="PATH", default=None,
+                     help="connect over a Unix-domain socket instead")
+    top.add_argument("--interval", type=_positive_float, default=1.0,
+                     help="seconds between redraws (default 1.0)")
+    top.add_argument("--iterations", type=_nonneg_int, default=0,
+                     metavar="N",
+                     help="render N frames then exit (0 = until ^C; "
+                          "useful for CI smokes)")
+    top.add_argument("--no-clear", action="store_true",
+                     help="never redraw in place; print sequential "
+                          "frames (the non-TTY default)")
 
     bench = sub.add_parser(
         "serve-bench",
@@ -288,6 +335,10 @@ def _build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--output", metavar="FILE", default=None,
                        help="write the full report JSON (the "
                             "BENCH_service_latency.json artifact)")
+    bench.add_argument("--telemetry", action="store_true",
+                       help="run the daemon with the full observability "
+                            "bundle enabled (the overhead-measurement "
+                            "mode)")
     bench.add_argument("--json", action="store_true",
                        help="print the full report as JSON")
 
@@ -310,6 +361,9 @@ def _build_parser() -> argparse.ArgumentParser:
     report.add_argument("--changed-only", action="store_true",
                         help="when diffing, show only rows whose value "
                              "differs")
+    report.add_argument("--exposition", action="store_true",
+                        help="render the snapshot as Prometheus text "
+                             "exposition instead of a table")
 
     diff = sub.add_parser(
         "scan-diff",
@@ -694,16 +748,34 @@ def _run_sharded_scan(args: argparse.Namespace,
     return 0
 
 
+def _build_service_telemetry(args: argparse.Namespace):
+    """Observability bundle for ``serve``: built when any telemetry flag
+    is set, ``None`` otherwise so the default daemon stays on the
+    zero-overhead, byte-identical path."""
+    if (not args.telemetry and args.trace is None
+            and args.metrics_out is None and args.slow_ms is None):
+        return None
+    from .service.obs import DEFAULT_SLOW_MS, ServiceTelemetry
+
+    return ServiceTelemetry.create(
+        trace_path=args.trace,
+        slow_ms=args.slow_ms if args.slow_ms is not None
+        else DEFAULT_SLOW_MS)
+
+
 def _run_serve(args: argparse.Namespace) -> int:
     from .service import daemon
 
     request = ScanRequest(prefixes=args.prefixes, seed=args.seed)
     cache_size = (args.cache_size if args.cache_size is not None
                   else daemon.DEFAULT_CACHE_SIZE)
+    telemetry = _build_service_telemetry(args)
     try:
         service = daemon.serve(request, host=args.host, port=args.port,
                                socket_path=args.socket,
-                               cache_size=cache_size)
+                               cache_size=cache_size,
+                               telemetry=telemetry,
+                               metrics_out=args.metrics_out)
     except KeyboardInterrupt:
         print("serve: interrupted", file=sys.stderr)
         return 130
@@ -711,7 +783,20 @@ def _run_serve(args: argparse.Namespace) -> int:
     print(f"serve: shut down after {stats['requests']} requests "
           f"({stats['traces_started']} traces, {stats['cache_hits']} "
           f"cache hits, {stats['coalesced']} coalesced)")
+    if args.metrics_out is not None and telemetry is not None:
+        print(f"  metrics: {args.metrics_out}")
+    if args.trace is not None:
+        print(f"  trace: {args.trace}")
     return 0
+
+
+def _run_top(args: argparse.Namespace) -> int:
+    from .service.top import run_top
+
+    return run_top(host=args.host, port=args.port,
+                   socket_path=args.socket, interval=args.interval,
+                   iterations=args.iterations,
+                   clear=False if args.no_clear else None)
 
 
 def _run_serve_bench(args: argparse.Namespace) -> int:
@@ -719,7 +804,8 @@ def _run_serve_bench(args: argparse.Namespace) -> int:
 
     report = run_loadtest(prefixes=args.prefixes, seed=args.seed,
                           clients=args.clients, keys=args.keys,
-                          flows=args.flows, concurrency=args.concurrency)
+                          flows=args.flows, concurrency=args.concurrency,
+                          telemetry=args.telemetry)
     if args.output is not None:
         with open(args.output, "w", encoding="utf-8") as stream:
             json.dump(report, stream, indent=2, sort_keys=True)
@@ -734,6 +820,10 @@ def _run_serve_bench(args: argparse.Namespace) -> int:
               f"({report['requests_per_second']} req/s)")
         print(f"  latency: p50={latency['p50']}ms p90={latency['p90']}ms "
               f"p99={latency['p99']}ms max={latency['max']}ms")
+        for outcome, row in sorted(
+                report["latency_ms_by_outcome"].items()):
+            print(f"    {outcome}: n={row['count']} p50={row['p50']}ms "
+                  f"p99={row['p99']}ms max={row['max']}ms")
         print(f"  outcomes: {report['outcomes']} "
               f"hit_rate={report['cache_hit_rate']} "
               f"coalesce_rate={report['coalesce_rate']}")
@@ -747,7 +837,8 @@ def _run_metrics_report(args: argparse.Namespace) -> int:
 
     try:
         report = metrics_report(args.metrics, args.baseline,
-                                changed_only=args.changed_only)
+                                changed_only=args.changed_only,
+                                exposition=args.exposition)
     except (OSError, ValueError, KeyError, json.JSONDecodeError) as exc:
         print(f"metrics-report: {exc}", file=sys.stderr)
         return 2
@@ -794,6 +885,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _run_scan(args)
     if args.command == "serve":
         return _run_serve(args)
+    if args.command == "top":
+        return _run_top(args)
     if args.command == "serve-bench":
         return _run_serve_bench(args)
     if args.command == "experiment":

@@ -19,6 +19,7 @@ scan by design, and the equivalence tests exclude exactly that prefix.
 from __future__ import annotations
 
 import json
+import re
 import time
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
@@ -224,6 +225,83 @@ def load_snapshot(path: str) -> Dict[str, object]:
     if schema != METRICS_SCHEMA:
         raise ValueError(f"unsupported metrics schema: {schema!r}")
     return payload
+
+
+def histogram_quantile(histogram: Dict[str, object], q: float) -> float:
+    """Estimate the ``q``-quantile of a fixed-bucket histogram dict.
+
+    Nearest-rank over the cumulative bucket counts, reporting the upper
+    bound of the bucket the rank lands in (the overflow slot reports the
+    last finite bound).  Good enough for dashboards; the exact values
+    live only in the raw observations, which snapshots do not keep.
+    """
+    if not 0.0 <= q <= 1.0:
+        raise ValueError(f"quantile must be in [0, 1], got {q}")
+    count = histogram["count"]
+    if count == 0:
+        raise ValueError("empty histogram has no quantiles")
+    bounds = list(histogram["bounds"])
+    counts = list(histogram["counts"])
+    rank = max(1, min(count, round(q * (count - 1)) + 1))
+    cumulative = 0
+    for bound, bucket in zip(bounds, counts[:-1]):
+        cumulative += bucket
+        if rank <= cumulative:
+            return float(bound)
+    return float(bounds[-1])
+
+
+def _exposition_name(name: str, prefix: str) -> str:
+    """A metric name mangled into the Prometheus grammar."""
+    mangled = re.sub(r"[^a-zA-Z0-9_:]", "_", name)
+    return f"{prefix}_{mangled}" if prefix else mangled
+
+
+def _exposition_value(value: float) -> str:
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    return repr(value) if isinstance(value, float) else str(value)
+
+
+def render_exposition(snapshot: Dict[str, object],
+                      prefix: str = "flashroute") -> str:
+    """The snapshot as Prometheus text exposition (version 0.0.4).
+
+    Deterministic: rendered purely from the snapshot's sorted
+    deterministic sections, so two byte-identical snapshots expose
+    byte-identically.  Counters and gauges map 1:1; histograms emit the
+    standard cumulative ``_bucket{le=...}`` series plus ``_sum`` and
+    ``_count``.  Any ``wall`` section is ignored — wall-clock data never
+    leaks into the exposition.
+    """
+    lines: List[str] = []
+    for name in sorted(snapshot.get("counters", {})):
+        metric = _exposition_name(name, prefix)
+        lines.append(f"# TYPE {metric} counter")
+        lines.append(
+            f"{metric} "
+            f"{_exposition_value(snapshot['counters'][name])}")
+    for name in sorted(snapshot.get("gauges", {})):
+        metric = _exposition_name(name, prefix)
+        lines.append(f"# TYPE {metric} gauge")
+        lines.append(
+            f"{metric} {_exposition_value(snapshot['gauges'][name])}")
+    for name in sorted(snapshot.get("histograms", {})):
+        metric = _exposition_name(name, prefix)
+        histogram = snapshot["histograms"][name]
+        lines.append(f"# TYPE {metric} histogram")
+        cumulative = 0
+        for bound, bucket in zip(histogram["bounds"],
+                                 histogram["counts"][:-1]):
+            cumulative += bucket
+            lines.append(f'{metric}_bucket{{le="'
+                         f'{_exposition_value(float(bound))}"}} '
+                         f'{cumulative}')
+        lines.append(f'{metric}_bucket{{le="+Inf"}} {histogram["count"]}')
+        lines.append(f"{metric}_sum "
+                     f"{_exposition_value(float(histogram['sum']))}")
+        lines.append(f"{metric}_count {histogram['count']}")
+    return "\n".join(lines) + "\n"
 
 
 def deterministic_snapshot(snapshot: Dict[str, object],

@@ -12,7 +12,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Tuple
 
 from ..analysis.report import render_table
-from .metrics import load_snapshot
+from .metrics import load_snapshot, render_exposition
 
 
 def flatten_snapshot(snapshot: Dict[str, object]) -> Dict[str, float]:
@@ -83,10 +83,18 @@ def render_diff(a: Dict[str, object], b: Dict[str, object],
 
 
 def metrics_report(path_a: str, path_b: Optional[str] = None,
-                   changed_only: bool = False) -> str:
+                   changed_only: bool = False,
+                   exposition: bool = False) -> str:
     """Entry point shared by the CLI subcommand and ``tools/``: summarize
-    one metrics file, or diff two."""
+    one metrics file, diff two, or (``exposition=True``) re-render one as
+    Prometheus text exposition — the same format the daemon's ``metrics``
+    control op serves live."""
     snapshot_a = load_snapshot(path_a)
+    if exposition:
+        if path_b is not None:
+            raise ValueError("--exposition renders one snapshot, not a "
+                             "diff")
+        return render_exposition(snapshot_a).rstrip("\n")
     if path_b is None:
         return render_summary(snapshot_a)
     snapshot_b = load_snapshot(path_b)

@@ -9,14 +9,22 @@ here; see docs/service.md for the wire protocol and operations guide.
 """
 
 from .daemon import CacheEntry, Flight, ServiceError, TraceService, serve
-from .client import request_trace, trace_stream
+from .client import DaemonClient, request_trace, trace_stream
+from .obs import RateRing, RequestContext, ServiceTelemetry
+from .top import render_frame, run_top
 
 __all__ = [
     "CacheEntry",
+    "DaemonClient",
     "Flight",
+    "RateRing",
+    "RequestContext",
     "ServiceError",
+    "ServiceTelemetry",
     "TraceService",
+    "render_frame",
     "request_trace",
+    "run_top",
     "serve",
     "trace_stream",
 ]

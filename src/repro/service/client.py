@@ -69,3 +69,55 @@ def request_trace(payload: dict, host: Optional[str] = None,
     """Synchronous one-shot: connect, request, collect, disconnect."""
     return asyncio.run(trace_stream(payload, host=host, port=port,
                                     socket_path=socket_path))
+
+
+class DaemonClient:
+    """One persistent connection issuing sequential requests.
+
+    The polling consumers (``flashroute-sim top``, monitoring scripts)
+    reuse a single connection across frames instead of reconnecting per
+    poll.  Use as an async context manager::
+
+        async with DaemonClient(host=..., port=...) as client:
+            stats = await client.control("stats")
+    """
+
+    def __init__(self, host: Optional[str] = None,
+                 port: Optional[int] = None,
+                 socket_path: Optional[str] = None) -> None:
+        self.host = host
+        self.port = port
+        self.socket_path = socket_path
+        self._reader: Optional[asyncio.StreamReader] = None
+        self._writer: Optional[asyncio.StreamWriter] = None
+
+    async def connect(self) -> "DaemonClient":
+        self._reader, self._writer = await open_connection(
+            self.host, self.port, self.socket_path)
+        return self
+
+    async def request(self, payload: dict) -> Tuple[List[dict], dict]:
+        """One request/response exchange (trace or control op)."""
+        if self._reader is None or self._writer is None:
+            raise ConnectionError("client is not connected")
+        return await send_request(self._reader, self._writer, payload)
+
+    async def control(self, op: str, **fields) -> dict:
+        """Issue a control op and return its response record."""
+        _, record = await self.request({"control": op, **fields})
+        return record
+
+    async def close(self) -> None:
+        if self._writer is not None:
+            self._writer.close()
+            try:
+                await self._writer.wait_closed()
+            except Exception:
+                pass
+            self._reader = self._writer = None
+
+    async def __aenter__(self) -> "DaemonClient":
+        return await self.connect()
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.close()

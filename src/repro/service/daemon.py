@@ -35,11 +35,13 @@ from __future__ import annotations
 import asyncio
 import contextlib
 import json
+import math
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import AsyncIterator, Dict, List, Optional, Tuple
 
 from ..api import Engine, ScanRequest, TraceRequest
+from .obs import ServiceTelemetry
 
 #: Traces a warm engine can answer per second is bounded by the event
 #: loop, not the virtual network; each *fresh* trace nudges the service's
@@ -50,6 +52,10 @@ TRACE_TICK = 1.0
 
 #: Default LRU capacity of the result cache (entries, not bytes).
 DEFAULT_CACHE_SIZE = 4096
+
+#: Event-loop lag (ms) beyond which the ``health`` op reports the
+#: daemon as not live — the loop is too far behind to serve promptly.
+LIVENESS_LAG_MS = 1000.0
 
 
 class ServiceError(ValueError):
@@ -132,12 +138,21 @@ class TraceService:
 
     def __init__(self, engine: Engine,
                  cache_size: int = DEFAULT_CACHE_SIZE,
-                 trace_tick: float = TRACE_TICK) -> None:
+                 trace_tick: float = TRACE_TICK,
+                 telemetry: Optional[ServiceTelemetry] = None) -> None:
         if cache_size < 0:
             raise ValueError("cache_size must be >= 0")
         self.engine = engine
         self.cache_size = cache_size
         self.trace_tick = trace_tick
+        #: Optional observability bundle (``None`` keeps every request
+        #: path on the uninstrumented code, matching repro.obs's
+        #: zero-overhead contract).
+        self.telemetry = telemetry
+        #: Readiness: the engine is warm by construction (topology and
+        #: network are built before the service exists); cleared only if
+        #: a future transport wants to gate on warm-up work.
+        self.ready = True
         #: The service's virtual clock — trace start times are drawn from
         #: it, which is what ties results to route epochs.
         self.now = 0.0
@@ -163,6 +178,11 @@ class TraceService:
     def advance(self, seconds: float) -> None:
         """Advance the service clock (the ``advance`` control op; crossing
         an epoch boundary invalidates every cached trace lazily)."""
+        # NaN slips past a plain `< 0` check and infinity past a range
+        # check; either would poison self.now for the daemon's lifetime
+        # (epoch computation and cache invalidation never recover).
+        if not math.isfinite(seconds):
+            raise ServiceError("advance needs a finite number of seconds")
         if seconds < 0:
             raise ServiceError("cannot advance time backwards")
         self.now += seconds
@@ -222,6 +242,9 @@ class TraceService:
                 await asyncio.sleep(0)
             result = session.result()
             self.probes_sent += session.network.probes_sent
+            if self.telemetry is not None:
+                self.telemetry.record_flight_probes(
+                    session.network.probes_sent)
             self.cache_store(flight.key,
                              CacheEntry(epoch=flight.epoch,
                                         hops=list(flight.hops),
@@ -238,6 +261,14 @@ class TraceService:
 
     # -- request handling ------------------------------------------------
 
+    @staticmethod
+    def _virtual_ms(result: Optional[dict]) -> float:
+        """A trace's virtual-time duration in milliseconds (the
+        deterministic latency the histograms record)."""
+        if not result:
+            return 0.0
+        return max(0.0, (result["last"] - result["first"]) * 1000.0)
+
     async def handle_trace(self, payload: dict) -> AsyncIterator[dict]:
         """Serve one trace request as a stream of protocol records.
 
@@ -245,52 +276,97 @@ class TraceService:
         (``done`` or ``error``).  Raises nothing: malformed requests
         become ``error`` records.
         """
+        obs = self.telemetry
+        ctx = obs.begin_request(self.now) if obs is not None else None
         self.requests += 1
         try:
-            request = TraceRequest.parse(payload)
-            key = request.key
-            cached = self.cache_lookup(key)
-            if cached is not None:
-                self.cache_hits += 1
-                for record in cached.hops:
-                    yield {"type": "hop", **record}
-                yield {"type": "done", "cache": "hit",
-                       "epoch": cached.epoch, "trace": cached.result}
+            try:
+                request = TraceRequest.parse(payload)
+                key = request.key
+                if ctx is not None:
+                    ctx.describe(request)
+                    ctx.phase("cache-lookup", self.now)
+                cached = self.cache_lookup(key)
+                if cached is not None:
+                    self.cache_hits += 1
+                    if ctx is not None:
+                        ctx.phase("cache-replay", self.now)
+                    for record in cached.hops:
+                        yield {"type": "hop", **record}
+                    if ctx is not None:
+                        ctx.phase("respond", self.now)
+                    yield {"type": "done", "cache": "hit",
+                           "epoch": cached.epoch, "trace": cached.result}
+                    if ctx is not None:
+                        obs.finish_request(
+                            self, ctx, "hit", self.now,
+                            virtual_ms=self._virtual_ms(cached.result),
+                            hops=len(cached.hops))
+                    return
+                flight = self._flights.get(key)
+                if flight is not None:
+                    self.coalesced += 1
+                    mode = "coalesced"
+                    if ctx is not None:
+                        ctx.phase("coalesce-join", self.now)
+                else:
+                    # TraceSession construction validates the destination
+                    # against the engine's address space (ValueError).
+                    flight = self._start_flight(request)
+                    mode = "miss"
+                    if ctx is not None:
+                        ctx.phase("probe-stream", self.now)
+            except (ServiceError, ValueError) as exc:
+                self.errors += 1
+                if ctx is not None:
+                    ctx.phase("respond", self.now)
+                yield {"type": "error", "error": str(exc)}
+                if ctx is not None:
+                    obs.finish_request(self, ctx, "error", self.now,
+                                       error=str(exc))
                 return
-            flight = self._flights.get(key)
-            if flight is not None:
-                self.coalesced += 1
-                mode = "coalesced"
+            replay, queue = flight.subscribe()
+            try:
+                for record in replay:
+                    yield {"type": "hop", **record}
+                if queue is not None:
+                    while True:
+                        item = await queue.get()
+                        if item is Flight._DONE:
+                            break
+                        yield {"type": "hop", **item}
+            finally:
+                # A disconnected client must not leave its queue behind
+                # on a still-running flight.
+                if queue is not None:
+                    flight.unsubscribe(queue)
+            if ctx is not None:
+                ctx.phase("respond", self.now)
+            if flight.error is not None:
+                self.errors += 1
+                yield {"type": "error", "error": flight.error}
+                if ctx is not None:
+                    obs.finish_request(self, ctx, "error", self.now,
+                                       hops=len(flight.hops),
+                                       error=flight.error)
             else:
-                # TraceSession construction validates the destination
-                # against the engine's address space (ValueError).
-                flight = self._start_flight(request)
-                mode = "miss"
-        except (ServiceError, ValueError) as exc:
-            self.errors += 1
-            yield {"type": "error", "error": str(exc)}
-            return
-        replay, queue = flight.subscribe()
-        try:
-            for record in replay:
-                yield {"type": "hop", **record}
-            if queue is not None:
-                while True:
-                    item = await queue.get()
-                    if item is Flight._DONE:
-                        break
-                    yield {"type": "hop", **item}
+                yield {"type": "done", "cache": mode,
+                       "epoch": flight.epoch, "trace": flight.result}
+                if ctx is not None:
+                    outcome = "fresh" if mode == "miss" else "coalesced"
+                    probes = (flight.result or {}).get("probes", 0) \
+                        if mode == "miss" else 0
+                    obs.finish_request(
+                        self, ctx, outcome, self.now,
+                        virtual_ms=self._virtual_ms(flight.result),
+                        probes=probes, hops=len(flight.hops))
         finally:
-            # A disconnected client must not leave its queue behind on a
-            # still-running flight.
-            if queue is not None:
-                flight.unsubscribe(queue)
-        if flight.error is not None:
-            self.errors += 1
-            yield {"type": "error", "error": flight.error}
-        else:
-            yield {"type": "done", "cache": mode, "epoch": flight.epoch,
-                   "trace": flight.result}
+            # A client that vanished mid-stream (GeneratorExit lands
+            # here) still completes its request record, so the outcome
+            # counters stay coherent: requests == sum of all outcomes.
+            if ctx is not None and not ctx.finished:
+                ctx.phase("respond", self.now)
+                obs.finish_request(self, ctx, "cancelled", self.now)
 
     def handle_control(self, payload: dict) -> dict:
         op = payload.get("control")
@@ -298,6 +374,10 @@ class TraceService:
             return {"type": "pong"}
         if op == "stats":
             return {"type": "stats", **self.stats()}
+        if op == "metrics":
+            return self.metrics()
+        if op == "health":
+            return {"type": "health", **self.health()}
         if op == "advance":
             seconds = payload.get("seconds")
             if not isinstance(seconds, (int, float)) \
@@ -306,6 +386,44 @@ class TraceService:
             self.advance(float(seconds))
             return {"type": "ok", "now": self.now, "epoch": self.epoch}
         raise ServiceError(f"unknown control op {op!r}")
+
+    def metrics(self) -> dict:
+        """The ``metrics`` control op: deterministic registry snapshot,
+        Prometheus-style text exposition, and the quarantined wall-clock
+        report (rates, exact percentiles, slow log)."""
+        if self.telemetry is None:
+            raise ServiceError(
+                "telemetry is disabled; start the daemon with "
+                "--telemetry (or --trace/--metrics-out)")
+        from ..obs.metrics import render_exposition
+
+        self.telemetry.sample(self)
+        snapshot = self.telemetry.metrics_snapshot(self)
+        return {"type": "metrics", "snapshot": snapshot,
+                "exposition": render_exposition(snapshot),
+                "wall": self.telemetry.wall_report()}
+
+    def health(self) -> dict:
+        """The ``health`` control op: readiness (engine warm), liveness
+        (event-loop lag bounded), and the load picture an operator pages
+        on (inflight flights, slow-request count)."""
+        obs = self.telemetry
+        lag = obs.loop_lag_ms if obs is not None else None
+        live = lag is None or lag <= LIVENESS_LAG_MS
+        return {
+            "ready": self.ready,
+            "live": live,
+            "status": "ok" if (self.ready and live) else "degraded",
+            "inflight": self.inflight,
+            "requests": self.requests,
+            "errors": self.errors,
+            "slow_requests": obs.slow_total if obs is not None else 0,
+            "loop_lag_ms": lag,
+            "telemetry": obs is not None,
+            "now": self.now,
+            "epoch": self.epoch,
+            "engine": self.engine.warmth(),
+        }
 
     def stats(self) -> dict:
         """The counters snapshot (also the CI metrics artifact)."""
@@ -413,6 +531,20 @@ async def _handle_connection(service: TraceService,
             await writer.wait_closed()
 
 
+async def _telemetry_monitor(service: TraceService) -> None:
+    """Background sampler: rate-ring counter samples plus event-loop lag
+    (expected vs actual sleep wake-up) for the ``health`` op."""
+    obs = service.telemetry
+    loop = asyncio.get_event_loop()
+    interval = obs.sample_interval
+    while True:
+        before = loop.time()
+        await asyncio.sleep(interval)
+        lag_ms = max(0.0, (loop.time() - before - interval) * 1000.0)
+        obs.note_loop_lag(round(lag_ms, 3))
+        obs.sample(service)
+
+
 @dataclass
 class ServerHandle:
     """What :func:`start_service` hands back: enough to talk and stop."""
@@ -425,22 +557,32 @@ class ServerHandle:
     socket_path: Optional[str] = None
     #: Addresses the OS actually bound (resolves ``port=0``).
     bound: Tuple = field(default_factory=tuple)
+    #: The telemetry sampler task (only when telemetry is enabled).
+    monitor: Optional[asyncio.Task] = None
 
     async def close(self) -> None:
         self.server.close()
         await self.server.wait_closed()
         await self.service.drain()
+        if self.monitor is not None:
+            self.monitor.cancel()
+            with contextlib.suppress(asyncio.CancelledError):
+                await self.monitor
 
 
 async def start_service(engine: Engine,
                         host: str = "127.0.0.1", port: int = 0,
                         socket_path: Optional[str] = None,
                         cache_size: int = DEFAULT_CACHE_SIZE,
-                        trace_tick: float = TRACE_TICK) -> ServerHandle:
+                        trace_tick: float = TRACE_TICK,
+                        telemetry: Optional[ServiceTelemetry] = None
+                        ) -> ServerHandle:
     """Bind the daemon and return a handle (used by serve() and tests)."""
     service = TraceService(engine, cache_size=cache_size,
-                           trace_tick=trace_tick)
+                           trace_tick=trace_tick, telemetry=telemetry)
     shutdown = asyncio.Event()
+    monitor = (asyncio.ensure_future(_telemetry_monitor(service))
+               if telemetry is not None else None)
 
     def factory(reader, writer):
         return _handle_connection(service, shutdown, reader, writer)
@@ -449,24 +591,29 @@ async def start_service(engine: Engine,
         server = await asyncio.start_unix_server(factory, path=socket_path,
                                                  limit=MAX_LINE)
         return ServerHandle(service=service, server=server,
-                            shutdown=shutdown, socket_path=socket_path)
+                            shutdown=shutdown, socket_path=socket_path,
+                            monitor=monitor)
     server = await asyncio.start_server(factory, host=host, port=port,
                                         limit=MAX_LINE)
     bound = tuple(sock.getsockname() for sock in server.sockets)
     actual_port = bound[0][1] if bound else port
     return ServerHandle(service=service, server=server, shutdown=shutdown,
-                        host=host, port=actual_port, bound=bound)
+                        host=host, port=actual_port, bound=bound,
+                        monitor=monitor)
 
 
 async def _serve_async(request: ScanRequest, host: str, port: int,
                        socket_path: Optional[str],
                        cache_size: int, trace_tick: float,
+                       telemetry: Optional[ServiceTelemetry],
+                       metrics_out: Optional[str],
                        announce=print) -> TraceService:
     engine = Engine.from_request(request)
     handle = await start_service(engine, host=host, port=port,
                                  socket_path=socket_path,
                                  cache_size=cache_size,
-                                 trace_tick=trace_tick)
+                                 trace_tick=trace_tick,
+                                 telemetry=telemetry)
     if socket_path is not None:
         announce(f"flashroute-sim serve: listening on {socket_path} "
                  f"(unix), space {engine.address_space()}")
@@ -478,6 +625,10 @@ async def _serve_async(request: ScanRequest, host: str, port: int,
         await handle.shutdown.wait()
     finally:
         await handle.close()
+        if telemetry is not None:
+            if metrics_out is not None:
+                telemetry.save(metrics_out, handle.service)
+            telemetry.close()
     return handle.service
 
 
@@ -486,15 +637,20 @@ def serve(request: Optional[ScanRequest] = None, *,
           socket_path: Optional[str] = None,
           cache_size: int = DEFAULT_CACHE_SIZE,
           trace_tick: float = TRACE_TICK,
+          telemetry: Optional[ServiceTelemetry] = None,
+          metrics_out: Optional[str] = None,
           announce=print) -> TraceService:
     """Run the daemon until a ``shutdown`` control op (or ^C).
 
     ``request`` describes the warm engine (topology size/seed and route
     cache mode); trace-irrelevant scan fields are ignored.  Returns the
     final :class:`TraceService` so callers can read the counters after
-    shutdown.
+    shutdown.  ``telemetry`` enables the service observability bundle
+    (request tracing, latency histograms, the ``metrics``/``health``
+    ops); ``metrics_out`` persists its final snapshot on shutdown.
     """
     if request is None:
         request = ScanRequest()
     return asyncio.run(_serve_async(request, host, port, socket_path,
-                                    cache_size, trace_tick, announce))
+                                    cache_size, trace_tick, telemetry,
+                                    metrics_out, announce))

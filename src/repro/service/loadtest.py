@@ -20,15 +20,16 @@ from ..api import Engine, ScanRequest
 from ..net.addr import int_to_ip
 from .client import trace_stream
 from .daemon import DEFAULT_CACHE_SIZE, start_service
+from .obs import ServiceTelemetry, latency_summary, percentile
 
+__all__ = ["build_payloads", "percentile", "run_loadtest"]
 
-def percentile(sorted_values: List[float], fraction: float) -> float:
-    """Nearest-rank percentile over an ascending list."""
-    if not sorted_values:
-        raise ValueError("no values")
-    rank = max(0, min(len(sorted_values) - 1,
-                      round(fraction * (len(sorted_values) - 1))))
-    return sorted_values[rank]
+#: Outcome labels of the per-outcome latency breakdown.  The wire's
+#: ``cache: miss`` terminal is a *fresh* trace — the breakdown reports
+#: it under that name so a tail regression in fresh traces can't hide
+#: behind the (much larger, much faster) cache-hit population.
+_OUTCOME_LABELS = {"miss": "fresh", "hit": "hit",
+                   "coalesced": "coalesced"}
 
 
 def build_payloads(engine: Engine, clients: int, keys: int,
@@ -52,11 +53,13 @@ def build_payloads(engine: Engine, clients: int, keys: int,
 
 
 async def _run(prefixes: int, seed: int, clients: int, keys: int,
-               flows: int, cache_size: int,
-               concurrency: Optional[int]) -> Dict[str, object]:
+               flows: int, cache_size: int, concurrency: Optional[int],
+               telemetry: bool) -> Dict[str, object]:
     engine = Engine.from_request(ScanRequest(prefixes=prefixes, seed=seed))
+    bundle = ServiceTelemetry() if telemetry else None
     handle = await start_service(engine, host="127.0.0.1", port=0,
-                                 cache_size=cache_size)
+                                 cache_size=cache_size,
+                                 telemetry=bundle)
     payloads = build_payloads(engine, clients, keys, flows)
     # Warm half the key set sequentially (unmeasured) so the measured
     # burst exercises every serving path: warmed keys hit the cache,
@@ -66,6 +69,9 @@ async def _run(prefixes: int, seed: int, clients: int, keys: int,
         await trace_stream(payload, host=handle.host, port=handle.port)
     gate = asyncio.Semaphore(concurrency) if concurrency else None
     latencies_ms: List[float] = []
+    by_outcome: Dict[str, List[float]] = {label: []
+                                          for label in ("fresh", "hit",
+                                                        "coalesced")}
     outcomes = {"hit": 0, "miss": 0, "coalesced": 0, "error": 0}
 
     async def one_client(payload: Dict[str, object]) -> None:
@@ -75,9 +81,12 @@ async def _run(prefixes: int, seed: int, clients: int, keys: int,
             start = time.perf_counter()
             hops, final = await trace_stream(payload, host=handle.host,
                                              port=handle.port)
-            latencies_ms.append((time.perf_counter() - start) * 1000.0)
+            elapsed_ms = (time.perf_counter() - start) * 1000.0
+            latencies_ms.append(elapsed_ms)
             if final.get("type") == "done":
                 outcomes[final["cache"]] += 1
+                by_outcome[_OUTCOME_LABELS[final["cache"]]].append(
+                    elapsed_ms)
             else:
                 outcomes["error"] += 1
         finally:
@@ -98,6 +107,7 @@ async def _run(prefixes: int, seed: int, clients: int, keys: int,
         "concurrency": concurrency,
         "prefixes": prefixes,
         "seed": seed,
+        "telemetry": telemetry,
         "wall_seconds": round(wall_seconds, 3),
         "requests_per_second": round(clients / wall_seconds, 1),
         "latency_ms": {
@@ -106,6 +116,12 @@ async def _run(prefixes: int, seed: int, clients: int, keys: int,
             "p99": round(percentile(latencies_ms, 0.99), 3),
             "max": round(latencies_ms[-1], 3),
         },
+        # Per-outcome percentiles: a tail regression in one serving
+        # class (say, fresh traces) must be visible even when another
+        # class (cache hits) dominates the aggregate distribution.
+        "latency_ms_by_outcome": {
+            label: latency_summary(values)
+            for label, values in sorted(by_outcome.items()) if values},
         "outcomes": outcomes,
         "cache_hit_rate": round(outcomes["hit"] / total, 4),
         "coalesce_rate": round(outcomes["coalesced"] / total, 4),
@@ -116,12 +132,15 @@ async def _run(prefixes: int, seed: int, clients: int, keys: int,
 def run_loadtest(prefixes: int = 256, seed: int = 20201027,
                  clients: int = 1000, keys: int = 64, flows: int = 4,
                  cache_size: int = DEFAULT_CACHE_SIZE,
-                 concurrency: Optional[int] = None) -> Dict[str, object]:
+                 concurrency: Optional[int] = None,
+                 telemetry: bool = False) -> Dict[str, object]:
     """Run the burst and return the latency/counter report.
 
     ``concurrency=None`` opens every client connection at once (the
     full-burst mode the acceptance numbers use); an integer gates the
-    burst through a semaphore for gentler environments.
+    burst through a semaphore for gentler environments.  ``telemetry``
+    runs the daemon with the full observability bundle enabled — the
+    overhead benchmark compares the two modes.
     """
     return asyncio.run(_run(prefixes, seed, clients, keys, flows,
-                            cache_size, concurrency))
+                            cache_size, concurrency, telemetry))

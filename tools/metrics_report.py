@@ -34,10 +34,14 @@ def main(argv=None) -> int:
     parser.add_argument("--changed-only", action="store_true",
                         help="when diffing, show only rows whose value "
                              "differs")
+    parser.add_argument("--exposition", action="store_true",
+                        help="render the snapshot as Prometheus text "
+                             "exposition instead of a table")
     args = parser.parse_args(argv)
     try:
         report = metrics_report(args.metrics, args.baseline,
-                                changed_only=args.changed_only)
+                                changed_only=args.changed_only,
+                                exposition=args.exposition)
     except (OSError, ValueError, KeyError, json.JSONDecodeError) as exc:
         print(f"metrics-report: {exc}", file=sys.stderr)
         return 2
