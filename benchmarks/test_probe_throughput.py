@@ -33,6 +33,7 @@ def test_probe_throughput_report(benchmark, save_result):
     def _full_report():
         report = bench_report.run_benchmark()
         report["scaling"] = bench_report.run_scaling_benchmark()
+        report["heartbeat_overhead"] = bench_report.run_heartbeat_benchmark()
         return report
 
     report = run_once(benchmark, _full_report)
@@ -61,3 +62,10 @@ def test_probe_throughput_report(benchmark, save_result):
         assert 0 < point["efficiency"] <= point["speedup"] or \
             point["speedup"] == 1.0
     assert scaling["speedup_4v1"] > 1.2, scaling["workers"]
+
+    # Heartbeat streaming (scan --shards --progress) must stay cheap on
+    # the worker side: aggregate CPU-time throughput with heartbeats on
+    # within 15% of heartbeats off (the ISSUE 9 acceptance bar).
+    heartbeat = report["heartbeat_overhead"]
+    assert heartbeat["heartbeat_on_pps"] > 0
+    assert heartbeat["overhead"] <= 1.15, heartbeat

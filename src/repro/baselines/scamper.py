@@ -136,6 +136,7 @@ class Scamper:
                 progress.report(clock.now, {
                     "tool": tool_name,
                     "probes": result.probes_sent,
+                    "responses": result.responses,
                     "pps": (result.probes_sent / clock.now
                             if clock.now > 0 else 0.0),
                     "interfaces": result.interface_count(),

@@ -226,6 +226,7 @@ class TracerouteScanner:
                 progress.report(now, {
                     "tool": tool_name,
                     "probes": result.probes_sent,
+                    "responses": result.responses,
                     "pps": result.probes_sent / now if now > 0 else 0.0,
                     "interfaces": result.interface_count(),
                 })
@@ -235,7 +236,8 @@ class TracerouteScanner:
                             probes=result.probes_sent,
                             responses=result.responses,
                             interfaces=result.interface_count())
-        if telemetry is not None and self.retries:
+        if telemetry is not None and telemetry.registry is not None \
+                and self.retries:
             telemetry.registry.inc("scan.retries.sent", retries_sent)
             telemetry.registry.inc("scan.retries.recovered",
                                    retries_recovered)

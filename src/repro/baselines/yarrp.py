@@ -353,6 +353,7 @@ class _YarrpRun:
         progress.report(now, {
             "tool": result.tool,
             "probes": result.probes_sent,
+            "responses": result.responses,
             "pps": result.probes_sent / now if now > 0 else 0.0,
             "interfaces": result.interface_count(),
         })

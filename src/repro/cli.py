@@ -187,7 +187,9 @@ def _build_parser() -> argparse.ArgumentParser:
                       help="save the full result (.json) or the hop list "
                            "(.csv)")
     scan.add_argument("--pcap", metavar="FILE", default=None,
-                      help="capture every probe and response to a pcap file")
+                      help="capture every probe and response to a pcap "
+                           "file (with --shards, one suffixed file per "
+                           "slice: out.pcap -> out.slice00.pcap, ...)")
     scan.add_argument("--no-route-cache", action="store_true",
                       help="bypass the simulator's flat route cache and "
                            "resolve every probe from scratch (A/B and "
@@ -197,7 +199,8 @@ def _build_parser() -> argparse.ArgumentParser:
                            "the scan (see docs/observability.md)")
     scan.add_argument("--trace", metavar="FILE", default=None,
                       help="write structured scan/phase/round span events "
-                           "as JSONL")
+                           "as JSONL (with --shards, per-slice trees "
+                           "merged into one multi-root forest)")
     scan.add_argument("--events", metavar="FILE", default=None,
                       help="record probe-level flight-recorder events "
                            "(JSONL, or length-prefixed binary when FILE "
@@ -214,7 +217,10 @@ def _build_parser() -> argparse.ArgumentParser:
                       type=_positive_float, default=None,
                       metavar="SECONDS",
                       help="print progress snapshots to stderr every "
-                           "SECONDS of virtual scan time (default 1.0)")
+                           "SECONDS of virtual scan time (default 1.0); "
+                           "with --shards, a live aggregated view of the "
+                           "worker heartbeats (per-worker rates, "
+                           "aggregate pps, ETA, straggler flags)")
     scan.add_argument("--retries", type=_nonneg_int, default=0,
                       metavar="N",
                       help="re-probe each unanswered (prefix, ttl) up to N "
@@ -425,14 +431,6 @@ def _validate_shard_flags(args: argparse.Namespace) -> None:
                 f"--shards ({args.shards}) must not exceed --shard-slices "
                 f"({args.shard_slices}); extra workers would idle — raise "
                 f"--shard-slices or lower --shards")
-        if args.pcap is not None:
-            raise _scan_flag_error(
-                "--pcap captures one network's packet stream and cannot "
-                "merge across shard workers; run without --shards")
-        if args.trace is not None:
-            raise _scan_flag_error(
-                "--trace records one engine's span tree and cannot merge "
-                "across shard workers; run without --shards")
 
 
 def _invocation_meta(args: argparse.Namespace) -> Dict[str, object]:
@@ -642,7 +640,10 @@ def _run_sharded_scan(args: argparse.Namespace,
         ScanRequest.from_args(args),
         collect_metrics=args.metrics_out is not None,
         events_format=events_format,
-        events_sample=args.events_sample, events_ring=args.events_ring)
+        events_sample=args.events_sample, events_ring=args.events_ring,
+        collect_trace=args.trace is not None,
+        pcap_base=args.pcap,
+        heartbeat_interval=args.progress)
 
     resume_state = None
     if resume_document is not None:
@@ -657,12 +658,19 @@ def _run_sharded_scan(args: argparse.Namespace,
         checkpoint_path = args.resume
 
     interrupt_after = args.interrupt_after_round
-    progress = args.progress is not None
+    progress_view = None
+    if args.progress is not None:
+        from .obs.shardobs import ShardProgressView
+
+        # args.progress is the reporting interval: virtual seconds for
+        # the workers' heartbeat throttle, wall seconds for the parent's
+        # render throttle (the parent has no virtual clock).
+        progress_view = ShardProgressView(
+            slices=plan.slices,
+            workers=plan.shards if plan.shard_index is None else 1,
+            interval=args.progress)
 
     def slice_hook(finished: int) -> None:
-        if progress:
-            print(f"progress: {finished}/{plan.slices} slices complete",
-                  file=sys.stderr)
         if interrupt_after is not None and finished >= interrupt_after:
             raise KeyboardInterrupt
 
@@ -673,8 +681,9 @@ def _run_sharded_scan(args: argparse.Namespace,
             checkpoint_every=args.checkpoint_every,
             checkpoint_meta=_invocation_meta(args),
             resume_state=resume_state,
-            slice_hook=slice_hook if (progress or interrupt_after)
-            else None)
+            slice_hook=slice_hook if interrupt_after is not None
+            else None,
+            progress=progress_view)
     except CheckpointError as exc:
         print(f"resume: {exc}", file=sys.stderr)
         return 2
@@ -696,8 +705,17 @@ def _run_sharded_scan(args: argparse.Namespace,
         result.attach_simnet_stats(outcome.simnet_stats)
     if args.metrics_out is not None:
         from .obs.metrics import save_snapshot
+        from .obs.shardobs import shard_wall_report
 
-        save_snapshot(outcome.metrics_snapshot, args.metrics_out)
+        # The per-slice wall-clock accounting (pids, CPU/wall seconds)
+        # rides in the snapshot's quarantined wall section, keeping the
+        # deterministic sections invariant in the worker count.
+        save_snapshot(outcome.metrics_snapshot, args.metrics_out,
+                      extra_wall={"shard":
+                                  shard_wall_report(outcome.slice_stats)})
+    if args.trace is not None:
+        with open(args.trace, "w", encoding="utf-8") as stream:
+            stream.write(outcome.trace_payload)
     if args.events is not None:
         payload = outcome.events_payload
         if events_format == "binary":
@@ -741,6 +759,14 @@ def _run_sharded_scan(args: argparse.Namespace,
             print(f"  saved: {args.output}")
         if args.metrics_out is not None:
             print(f"  metrics: {args.metrics_out}")
+        if args.trace is not None:
+            print(f"  trace: {args.trace} (merged span forest, "
+                  f"{outcome.slices_total} roots)")
+        if args.pcap is not None and outcome.pcap_paths:
+            paths = outcome.pcap_paths
+            print(f"  pcap: {len(paths)} per-slice captures "
+                  f"{paths[0]} .. {paths[-1]} "
+                  f"(merge externally, e.g. mergecap -w {args.pcap})")
         if args.events is not None:
             print(f"  events: {args.events}")
         if args.checkpoint is not None and os.path.exists(args.checkpoint):

@@ -534,6 +534,7 @@ class _ScanRun:
             "tool": result.tool,
             "round": result.rounds,
             "probes": result.probes_sent,
+            "responses": result.responses,
             "pps": result.probes_sent / now if now > 0 else 0.0,
             "remaining": len(self.dcb),
             "interfaces": result.interface_count(),

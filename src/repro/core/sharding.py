@@ -122,12 +122,25 @@ class ShardPlan:
     events_format: Optional[str] = None
     events_sample: float = 1.0
     events_ring: Optional[int] = None
+    #: Collect a per-slice span tree (merged into one multi-root forest
+    #: by the parent — what ``scan --shards --trace`` writes).
+    collect_trace: bool = False
+    #: Base capture path; each slice writes its own suffixed file
+    #: (``out.pcap`` -> ``out.slice00.pcap``, ...).
+    pcap_base: Optional[str] = None
+    #: Virtual-time interval between worker heartbeats; ``None`` streams
+    #: no heartbeats (the zero-overhead default).
+    heartbeat_interval: Optional[float] = None
 
     @classmethod
     def from_request(cls, request, *, collect_metrics: bool = False,
                      events_format: Optional[str] = None,
                      events_sample: float = 1.0,
-                     events_ring: Optional[int] = None) -> "ShardPlan":
+                     events_ring: Optional[int] = None,
+                     collect_trace: bool = False,
+                     pcap_base: Optional[str] = None,
+                     heartbeat_interval: Optional[float] = None
+                     ) -> "ShardPlan":
         """The plan a :class:`repro.api.ScanRequest` implies.
 
         The request carries the scan's identity (tool, topology, knobs,
@@ -147,7 +160,9 @@ class ShardPlan:
             use_route_cache=request.route_cache,
             retries=request.retries, adaptive_rate=request.adaptive_rate,
             collect_metrics=collect_metrics, events_format=events_format,
-            events_sample=events_sample, events_ring=events_ring)
+            events_sample=events_sample, events_ring=events_ring,
+            collect_trace=collect_trace, pcap_base=pcap_base,
+            heartbeat_interval=heartbeat_interval)
 
     def __post_init__(self) -> None:
         if self.shards < 1:
@@ -168,6 +183,11 @@ class ShardPlan:
             raise ValueError(
                 f"events_format must be None, 'jsonl' or 'binary', got "
                 f"{self.events_format!r}")
+        if self.heartbeat_interval is not None \
+                and self.heartbeat_interval <= 0:
+            raise ValueError(
+                f"heartbeat_interval must be positive, got "
+                f"{self.heartbeat_interval}")
 
 
 @dataclass
@@ -181,10 +201,15 @@ class ShardedOutcome:
     slices_total: int = 0
     slices_resumed: int = 0
     #: Per-slice wall-side accounting (slice, worker pid, CPU seconds,
-    #: probes) in slice order; the scaling benchmark sums per-worker
-    #: throughput from it.  Slices restored from a checkpoint carry no
-    #: pid/cpu (they were not run this time).
+    #: wall seconds, probes) in slice order; the scaling benchmark sums
+    #: per-worker throughput from it.  Slices restored from a checkpoint
+    #: carry no pid/cpu (they were not run this time).
     slice_stats: List[Dict[str, object]] = field(default_factory=list)
+    #: Merged multi-root span forest (JSONL text) when the plan collects
+    #: traces; ``None`` otherwise.
+    trace_payload: Optional[str] = None
+    #: Per-slice capture files written this run, in slice order.
+    pcap_paths: List[str] = field(default_factory=list)
 
 
 # --------------------------------------------------------------------- #
@@ -259,7 +284,8 @@ _WORKER: Dict[str, object] = {}
 
 
 def _worker_init(plan: ShardPlan,
-                 slice_targets: List[Dict[int, int]]) -> None:
+                 slice_targets: List[Dict[int, int]],
+                 heartbeat: Optional[object] = None) -> None:
     """Populate the worker's shared read-only context exactly once.
 
     Under ``fork`` the parent populated :data:`_WORKER` before creating
@@ -267,7 +293,14 @@ def _worker_init(plan: ShardPlan,
     returns immediately; under ``spawn`` the topology is rebuilt from the
     plan's picklable :class:`TopologyConfig` (deterministic in its seed,
     hence identical).
+
+    ``heartbeat`` is the upstream heartbeat channel: a multiprocessing
+    queue (pool mode) or a direct callable (sequential mode); ``None``
+    streams nothing.  Normalized to an ``emit`` callable here, outside
+    the plan-equality fast path, so a fork-inherited context still picks
+    up this run's channel.
     """
+    _WORKER["heartbeat"] = getattr(heartbeat, "put", heartbeat)
     if _WORKER.get("plan") == plan and _WORKER.get("topology") is not None:
         return
     _WORKER["plan"] = plan
@@ -297,15 +330,21 @@ def _execute_slice(plan: ShardPlan, topology: Topology,
     """Run one slice's subscan; returns a picklable, JSON-able payload."""
     from ..obs.events import EventRecorder, strip_event_header
     from ..obs.metrics import MetricsRegistry
+    from ..obs.shardobs import ShardHeartbeatReporter, slice_pcap_path
     from ..obs.telemetry import Telemetry
+    from ..obs.trace import ScanTracer
 
     network = SimulatedNetwork(topology,
                                use_route_cache=plan.use_route_cache,
                                faults=_build_faults(plan))
     telemetry = None
     events_sink = None
+    trace_sink = None
     binary = plan.events_format == "binary"
-    if plan.collect_metrics or plan.events_format is not None:
+    heartbeat_emit = (_WORKER.get("heartbeat")
+                      if plan.heartbeat_interval is not None else None)
+    if plan.collect_metrics or plan.events_format is not None \
+            or plan.collect_trace or heartbeat_emit is not None:
         events = None
         if plan.events_format is not None:
             events_sink = io.BytesIO() if binary else io.StringIO()
@@ -314,23 +353,58 @@ def _execute_slice(plan: ShardPlan, topology: Topology,
             # agree (see repro.obs.events.merge_event_logs).
             events = EventRecorder(stream=events_sink, binary=binary,
                                    sample=plan.events_sample)
-        telemetry = Telemetry(registry=MetricsRegistry(), events=events)
+        tracer = None
+        if plan.collect_trace:
+            trace_sink = io.StringIO()
+            tracer = ScanTracer(stream=trace_sink)
+        progress = None
+        if heartbeat_emit is not None:
+            progress = ShardHeartbeatReporter(plan.heartbeat_interval,
+                                              heartbeat_emit, slice_index)
+        # Registry only when the merged snapshot needs it: a heartbeat-
+        # or trace-only slice keeps the engine's per-probe counters off
+        # (the metrics hot path costs real throughput — see the
+        # heartbeat_overhead benchmark).
+        telemetry = Telemetry(
+            registry=MetricsRegistry() if plan.collect_metrics else None,
+            metrics=plan.collect_metrics,
+            tracer=tracer, progress=progress, events=events)
+    pcap_path = None
+    pcap_handle = None
+    scan_network = network
+    if plan.pcap_base is not None:
+        from ..simnet.capture import CapturingNetwork
+
+        pcap_path = slice_pcap_path(plan.pcap_base, slice_index,
+                                    plan.slices)
+        pcap_handle = open(pcap_path, "wb")
+        scan_network = CapturingNetwork(network, pcap_handle)
     scanner = create_scanner(
         plan.tool,
         _scanner_options(plan, telemetry, _slice_resilience(plan)))
     cpu_start = time.process_time()
-    result = scanner.scan(network, targets=dict(targets))
+    wall_start = time.perf_counter()
+    try:
+        result = scanner.scan(scan_network, targets=dict(targets))
+    finally:
+        if pcap_handle is not None:
+            pcap_handle.close()
     cpu_seconds = time.process_time() - cpu_start
+    wall_seconds = time.perf_counter() - wall_start
     payload: Dict[str, object] = {
         "slice": slice_index,
         "result": result_to_dict(result),
         "stats": network.stats(),
-        # Wall-side accounting for the scaling benchmark: which worker
-        # process ran the slice and how much of its CPU the scan took.
-        # Never part of the merged (byte-stable) outputs.
+        # Wall-side accounting for the scaling benchmark and the shard
+        # wall report: which worker process ran the slice and how much
+        # CPU/wall time the scan took.  Never part of the merged
+        # (byte-stable) outputs.
         "pid": os.getpid(),
         "cpu_seconds": cpu_seconds,
+        "wall_seconds": wall_seconds,
     }
+    if pcap_path is not None:
+        payload["pcap"] = pcap_path
     if telemetry is not None:
         telemetry.record_network(network)
         telemetry.close()
@@ -339,6 +413,8 @@ def _execute_slice(plan: ShardPlan, topology: Topology,
         if events_sink is not None:
             payload["events"] = strip_event_header(events_sink.getvalue(),
                                                    binary)
+        if trace_sink is not None:
+            payload["trace"] = trace_sink.getvalue()
     return payload
 
 
@@ -475,6 +551,29 @@ def _merged_events(plan: ShardPlan,
                             ring=plan.events_ring)
 
 
+def _merged_trace(plan: ShardPlan,
+                  ordered: List[Dict[str, object]]) -> Optional[str]:
+    if not plan.collect_trace:
+        return None
+    from ..obs.shardobs import merge_trace_logs
+
+    return merge_trace_logs([payload["trace"] for payload in ordered])
+
+
+def _shard_metrics(plan: ShardPlan, snapshot: Optional[Dict[str, object]],
+                   ordered: List[Dict[str, object]],
+                   results: Sequence[ScanResult]
+                   ) -> Optional[Dict[str, object]]:
+    """The merged snapshot plus the per-slice shard dimension."""
+    if snapshot is None:
+        return None
+    from ..obs.shardobs import add_shard_dimension
+
+    pairs = [(payload["slice"], result)
+             for payload, result in zip(ordered, results)]
+    return add_shard_dimension(snapshot, pairs, plan.slices)
+
+
 # --------------------------------------------------------------------- #
 # Checkpointing (the shard dimension of the PR-5 format)
 # --------------------------------------------------------------------- #
@@ -483,6 +582,8 @@ def _payload_to_state(payload: Dict[str, object]) -> Dict[str, object]:
     state = {"result": payload["result"], "stats": payload["stats"]}
     if "metrics" in payload:
         state["metrics"] = payload["metrics"]
+    if "trace" in payload:
+        state["trace"] = payload["trace"]
     if "events" in payload:
         events = payload["events"]
         if isinstance(events, bytes):
@@ -499,6 +600,8 @@ def _payload_from_state(slice_index: int,
                                   "stats": state["stats"]}
     if "metrics" in state:
         payload["metrics"] = state["metrics"]
+    if "trace" in state:
+        payload["trace"] = state["trace"]
     if "events_b64" in state:
         payload["events"] = base64.b64decode(state["events_b64"])
     elif "events_text" in state:
@@ -541,6 +644,11 @@ def load_sharded_state(plan: ShardPlan, state: Dict[str, object]
         index = int(key)
         if not 0 <= index < plan.slices:
             raise CheckpointError(f"checkpoint slice {index} out of range")
+        if plan.collect_trace and "trace" not in payload_state:
+            raise CheckpointError(
+                f"checkpoint slice {index} carries no span tree; the "
+                f"interrupted run did not use --trace, so the resumed "
+                f"one cannot either")
         completed[index] = _payload_from_state(index, payload_state)
     return completed
 
@@ -549,10 +657,31 @@ def load_sharded_state(plan: ShardPlan, state: Dict[str, object]
 # Orchestration
 # --------------------------------------------------------------------- #
 
-def _pool_context():
+def _pool_context(start_method: Optional[str] = None):
     methods = multiprocessing.get_all_start_methods()
+    if start_method is not None:
+        if start_method not in methods:
+            raise ValueError(
+                f"start method {start_method!r} unavailable on this "
+                f"platform (have {methods})")
+        return multiprocessing.get_context(start_method)
     return multiprocessing.get_context(
         "fork" if "fork" in methods else "spawn")
+
+
+#: How long the parent blocks on the next slice result before draining
+#: the heartbeat queue (seconds); only used when heartbeats stream.
+_HEARTBEAT_POLL_SECONDS = 0.1
+
+
+def _drain_heartbeats(queue, progress) -> None:
+    """Feed every queued worker heartbeat into the progress view."""
+    while True:
+        try:
+            record = queue.get_nowait()
+        except Exception:  # queue.Empty (or a closed queue on teardown)
+            return
+        progress.observe(record)
 
 
 def run_sharded_scan(plan: ShardPlan, *,
@@ -562,6 +691,8 @@ def run_sharded_scan(plan: ShardPlan, *,
                      checkpoint_meta: Optional[dict] = None,
                      resume_state: Optional[dict] = None,
                      slice_hook: Optional[Callable[[int], None]] = None,
+                     progress=None,
+                     start_method: Optional[str] = None,
                      ) -> ShardedOutcome:
     """Run a sharded scan end to end and return the merged outcome.
 
@@ -573,6 +704,15 @@ def run_sharded_scan(plan: ShardPlan, *,
     ``resume_state`` (the ``"state"`` payload of such a checkpoint) skips
     the already-completed slices, and the finished scan is byte-identical
     to an uninterrupted one.
+
+    ``progress`` is a :class:`repro.obs.shardobs.ShardProgressView` (or
+    compatible object with ``observe``/``slice_done``/``finish``): slice
+    completions always feed it, and when the plan sets
+    ``heartbeat_interval`` the workers additionally stream heartbeats to
+    it — over a multiprocessing queue in pool mode, directly in
+    sequential mode.  ``start_method`` forces a specific multiprocessing
+    start method (``"fork"``/``"spawn"``) for tests; the default picks
+    fork where available.
     """
     if topology is None:
         topology = Topology(plan.topology)
@@ -602,28 +742,55 @@ def run_sharded_scan(plan: ShardPlan, *,
         if checkpoint_path is not None and checkpoint_every \
                 and (finished - slices_resumed) % checkpoint_every == 0:
             flush_checkpoint()
+        if progress is not None:
+            progress.slice_done(payload["slice"],
+                                payload["result"]["probes_sent"],
+                                payload["result"]["duration"])
         if slice_hook is not None:
             slice_hook(finished)
 
+    heartbeats = plan.heartbeat_interval is not None \
+        and progress is not None
     workers = min(plan.shards, len(pending))
     try:
         if workers <= 1:
-            _worker_init(plan, slice_targets)
+            # Sequential mode: heartbeats short-circuit the queue and
+            # feed the view directly.
+            _worker_init(plan, slice_targets,
+                         heartbeat=progress.observe if heartbeats
+                         else None)
             for index in pending:
                 on_complete(_run_slice_job(index))
         else:
             # Populate the parent-side context first so fork()ed workers
             # inherit the built topology copy-on-write (the worker-init
             # contract); spawn-based platforms rebuild it per worker from
-            # the picklable plan.
-            _worker_init(plan, slice_targets)
-            context = _pool_context()
+            # the picklable plan (the queue rides along in initargs,
+            # which multiprocessing allows during worker spawning).
+            context = _pool_context(start_method)
+            heartbeat_queue = context.Queue() if heartbeats else None
+            _worker_init(plan, slice_targets, heartbeat=heartbeat_queue)
             with context.Pool(processes=workers,
                               initializer=_worker_init,
-                              initargs=(plan, slice_targets)) as pool:
-                for payload in pool.imap_unordered(_run_slice_job,
-                                                   pending):
+                              initargs=(plan, slice_targets,
+                                        heartbeat_queue)) as pool:
+                iterator = pool.imap_unordered(_run_slice_job, pending)
+                remaining = len(pending)
+                while remaining:
+                    if heartbeat_queue is not None:
+                        try:
+                            payload = iterator.next(
+                                _HEARTBEAT_POLL_SECONDS)
+                        except multiprocessing.TimeoutError:
+                            _drain_heartbeats(heartbeat_queue, progress)
+                            continue
+                        _drain_heartbeats(heartbeat_queue, progress)
+                    else:
+                        payload = next(iterator)
+                    remaining -= 1
                     on_complete(payload)
+                if heartbeat_queue is not None:
+                    _drain_heartbeats(heartbeat_queue, progress)
     except KeyboardInterrupt:
         path = flush_checkpoint()
         if path is not None:
@@ -633,19 +800,28 @@ def run_sharded_scan(plan: ShardPlan, *,
     ordered = [completed[index] for index in sorted(completed)]
     if not ordered:
         raise ValueError("sharded scan completed no slices")
-    result = merge_results([result_from_dict(payload["result"])
-                            for payload in ordered])
+    results = [result_from_dict(payload["result"])
+               for payload in ordered]
+    result = merge_results(results)
+    if progress is not None:
+        progress.finish(result.probes_sent)
     return ShardedOutcome(
         result=result,
         simnet_stats=merge_simnet_stats([payload["stats"]
                                          for payload in ordered]),
-        metrics_snapshot=_merged_metrics(plan, ordered, result),
+        metrics_snapshot=_shard_metrics(
+            plan, _merged_metrics(plan, ordered, result), ordered,
+            results),
         events_payload=_merged_events(plan, ordered),
         slices_total=plan.slices,
         slices_resumed=slices_resumed,
         slice_stats=[{"slice": payload["slice"],
                       "pid": payload.get("pid"),
                       "cpu_seconds": payload.get("cpu_seconds"),
+                      "wall_seconds": payload.get("wall_seconds"),
                       "probes": payload["result"]["probes_sent"]}
                      for payload in ordered],
+        trace_payload=_merged_trace(plan, ordered),
+        pcap_paths=[payload["pcap"] for payload in ordered
+                    if "pcap" in payload],
     )

@@ -52,9 +52,25 @@ from .scandiff import (
     render_scan_diff,
     scan_diff,
 )
+from .shardobs import (
+    HEARTBEAT_SCHEMA,
+    ShardHeartbeatReporter,
+    ShardProgressView,
+    add_shard_dimension,
+    merge_trace_logs,
+    shard_wall_report,
+    slice_pcap_path,
+)
 from .telemetry import Telemetry, record_network, record_scan_result
 from .timing import Stopwatch
-from .trace import NULL_TRACER, NullTracer, ScanTracer, read_trace, validate_trace
+from .trace import (
+    NULL_TRACER,
+    NullTracer,
+    ScanTracer,
+    deterministic_trace,
+    read_trace,
+    validate_trace,
+)
 
 __all__ = [
     "ArtifactReport",
@@ -62,6 +78,7 @@ __all__ = [
     "Divergence",
     "EVENTS_SCHEMA",
     "EventRecorder",
+    "HEARTBEAT_SCHEMA",
     "METRICS_SCHEMA",
     "MetricsRegistry",
     "NULL_TRACER",
@@ -69,13 +86,18 @@ __all__ = [
     "POW2_BUCKETS",
     "ProgressReporter",
     "ScanTracer",
+    "ShardHeartbeatReporter",
+    "ShardProgressView",
     "Stopwatch",
     "Telemetry",
+    "add_shard_dimension",
     "detect_artifacts",
     "deterministic_snapshot",
+    "deterministic_trace",
     "diff_views",
     "load_snapshot",
     "load_view",
+    "merge_trace_logs",
     "read_events",
     "read_trace",
     "record_artifacts",
@@ -83,6 +105,8 @@ __all__ = [
     "record_scan_result",
     "render_scan_diff",
     "scan_diff",
+    "shard_wall_report",
+    "slice_pcap_path",
     "validate_events",
     "validate_trace",
 ]

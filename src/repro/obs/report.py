@@ -9,10 +9,14 @@ behavioural deltas.
 
 from __future__ import annotations
 
+import re
 from typing import Dict, List, Optional, Tuple
 
 from ..analysis.report import render_table
 from .metrics import load_snapshot, render_exposition
+
+#: Per-slice shard-dimension metric names (see repro.obs.shardobs).
+_SHARD_METRIC = re.compile(r"^shard\.slice(\d+)\.([a-z_]+)$")
 
 
 def flatten_snapshot(snapshot: Dict[str, object]) -> Dict[str, float]:
@@ -82,6 +86,50 @@ def render_diff(a: Dict[str, object], b: Dict[str, object],
                         title="[metrics] snapshot diff")
 
 
+def shard_breakdown_rows(snapshot: Dict[str, object]
+                         ) -> Dict[int, Dict[str, float]]:
+    """Per-slice field map from a snapshot's shard dimension (may be
+    empty — unsharded snapshots carry no ``shard.sliceNN.*`` metrics)."""
+    per_slice: Dict[int, Dict[str, float]] = {}
+    for section in ("counters", "gauges"):
+        for name, value in snapshot.get(section, {}).items():
+            match = _SHARD_METRIC.match(name)
+            if match is not None:
+                per_slice.setdefault(int(match.group(1)),
+                                     {})[match.group(2)] = value
+    return per_slice
+
+
+def render_shard_breakdown(snapshot: Dict[str, object]) -> Optional[str]:
+    """The per-shard breakdown table, or ``None`` when the snapshot
+    carries no shard dimension."""
+    per_slice = shard_breakdown_rows(snapshot)
+    if not per_slice:
+        return None
+    total_probes = sum(fields.get("probes", 0)
+                       for fields in per_slice.values())
+    body = []
+    for index in sorted(per_slice):
+        fields = per_slice[index]
+        probes = fields.get("probes", 0)
+        share = (f"{100.0 * probes / total_probes:.1f}%"
+                 if total_probes else "-")
+        body.append([str(index), _fmt(probes),
+                     _fmt(fields.get("responses")),
+                     _fmt(fields.get("route_holes")),
+                     f"{fields.get('duration_virtual_seconds', 0.0):,.1f}",
+                     share])
+    gauges = snapshot.get("gauges", {})
+    imbalance = gauges.get("shard.imbalance_factor")
+    title = "[metrics] per-shard breakdown"
+    if imbalance is not None:
+        title += f" (imbalance factor {imbalance:.2f}x)"
+    return render_table(
+        ["Slice", "Probes", "Responses", "Holes", "Duration (vt s)",
+         "Share"],
+        body, title=title)
+
+
 def metrics_report(path_a: str, path_b: Optional[str] = None,
                    changed_only: bool = False,
                    exposition: bool = False) -> str:
@@ -96,7 +144,11 @@ def metrics_report(path_a: str, path_b: Optional[str] = None,
                              "diff")
         return render_exposition(snapshot_a).rstrip("\n")
     if path_b is None:
-        return render_summary(snapshot_a)
+        summary = render_summary(snapshot_a)
+        breakdown = render_shard_breakdown(snapshot_a)
+        if breakdown is not None:
+            summary = f"{summary}\n\n{breakdown}"
+        return summary
     snapshot_b = load_snapshot(path_b)
     return render_diff(snapshot_a, snapshot_b, label_a=path_a,
                        label_b=path_b, changed_only=changed_only)

@@ -37,15 +37,25 @@ class Telemetry:
     """Registry + tracer + progress + event recorder, handed to a scanner
     as one bundle.  ``events`` is the probe-level flight recorder
     (:class:`~repro.obs.events.EventRecorder`); ``None`` — the default —
-    keeps engine hot paths on their pre-recorder code."""
+    keeps engine hot paths on their pre-recorder code.
+
+    ``metrics=False`` builds a registry-less bundle: ``registry`` stays
+    ``None``, so engines keep their per-probe counters off exactly as if
+    telemetry were disabled.  Sharded workers use this when only
+    heartbeats were requested (``scan --shards --progress`` without
+    ``--metrics-out``) — streaming a throttled progress record must not
+    buy the full metrics hot path."""
 
     __slots__ = ("registry", "tracer", "progress", "events")
 
     def __init__(self, registry: Optional[MetricsRegistry] = None,
                  tracer=None,
                  progress: Optional[ProgressReporter] = None,
-                 events: Optional[EventRecorder] = None) -> None:
-        self.registry = registry if registry is not None else MetricsRegistry()
+                 events: Optional[EventRecorder] = None,
+                 metrics: bool = True) -> None:
+        if registry is None and metrics:
+            registry = MetricsRegistry()
+        self.registry = registry
         self.tracer = tracer if tracer is not None else NULL_TRACER
         self.progress = progress
         self.events = events
@@ -71,10 +81,12 @@ class Telemetry:
         return cls(tracer=tracer, progress=progress, events=events)
 
     def record_result(self, result) -> None:
-        record_scan_result(self.registry, result)
+        if self.registry is not None:
+            record_scan_result(self.registry, result)
 
     def record_network(self, network) -> None:
-        record_network(self.registry, network)
+        if self.registry is not None:
+            record_network(self.registry, network)
 
     def close(self) -> None:
         self.tracer.close()

@@ -133,20 +133,45 @@ def read_trace(path: str) -> List[Dict[str, object]]:
     return events
 
 
-def validate_trace(events: List[Dict[str, object]]) -> None:
-    """Assert the span structure is well formed (used by the tests).
+def _innermost_id(stack: List[Dict[str, object]]) -> Optional[int]:
+    """Id of the innermost open span: 0 at top level, None if unknown."""
+    if not stack:
+        return 0
+    span_id = stack[-1].get("id")
+    return span_id if isinstance(span_id, int) else None
 
-    Checks the header line, that every ``end`` closes the innermost open
-    ``begin`` of the same span kind and name, and that nothing stays open.
-    Raises ``ValueError`` on the first violation.
+
+def validate_trace(events: List[Dict[str, object]]) -> None:
+    """Assert the span structure is a well-formed multi-root forest.
+
+    Checks the header line; that every ``end`` closes the innermost open
+    ``begin`` of the same span kind, name, and (when present) id; that
+    span ids are unique across the whole forest and every ``parent``
+    points at the innermost open span (so spans cannot overlap across
+    roots or reference a span from another root); and that nothing stays
+    open.  Sequential root spans — a merged per-slice forest — are
+    valid.  Raises ``ValueError`` on the first violation.
     """
     if not events or events[0].get("ev") != "trace" \
             or events[0].get("schema") != TRACE_SCHEMA:
         raise ValueError("missing or bad trace header line")
     stack: List[Dict[str, object]] = []
+    seen_ids: set = set()
     for event in events[1:]:
         kind = event.get("ev")
         if kind == "begin":
+            span_id = event.get("id")
+            if isinstance(span_id, int):
+                if span_id == 0 or span_id in seen_ids:
+                    raise ValueError(f"duplicate span id: {event!r}")
+                seen_ids.add(span_id)
+            parent = event.get("parent")
+            expected = _innermost_id(stack)
+            if isinstance(parent, int) and expected is not None \
+                    and parent != expected:
+                raise ValueError(
+                    f"orphaned span (parent {parent} is not the "
+                    f"innermost open span {expected}): {event!r}")
             stack.append(event)
         elif kind == "end":
             if not stack:
@@ -156,9 +181,39 @@ def validate_trace(events: List[Dict[str, object]]) -> None:
                                                     event["name"]):
                 raise ValueError(
                     f"mismatched span nesting: {opened!r} vs {event!r}")
+            end_id = event.get("id")
+            if isinstance(end_id, int) and \
+                    isinstance(opened.get("id"), int) and \
+                    end_id != opened["id"]:
+                raise ValueError(
+                    f"overlapping spans: end id {end_id} does not match "
+                    f"its begin {opened['id']}: {event!r}")
             if event.get("vt", 0.0) < opened.get("vt", 0.0):
                 raise ValueError(f"span ends before it begins: {event!r}")
-        elif kind != "event":
+        elif kind == "event":
+            parent = event.get("parent")
+            expected = _innermost_id(stack)
+            if isinstance(parent, int) and expected is not None \
+                    and parent != expected:
+                raise ValueError(
+                    f"orphaned event (parent {parent} is not the "
+                    f"innermost open span {expected}): {event!r}")
+        elif kind == "trace":
+            raise ValueError(f"duplicate trace header: {event!r}")
+        else:
             raise ValueError(f"unknown event kind: {event!r}")
     if stack:
         raise ValueError(f"unclosed spans: {[e['name'] for e in stack]}")
+
+
+def deterministic_trace(events: List[Dict[str, object]]) -> str:
+    """Re-serialize trace events minus the one wall-clock field (``wt``).
+
+    The result is the trace's deterministic content: byte-identical for
+    same-seed runs, including sharded runs at any worker count.  Used by
+    tests and the CI shard smoke to ``cmp`` traces.
+    """
+    lines = [json.dumps({key: value for key, value in event.items()
+                         if key != "wt"}, sort_keys=True)
+             for event in events]
+    return "\n".join(lines) + "\n"

@@ -366,13 +366,28 @@ class TestShardFlagValidation:
         assert exc_info.value.code == 2
         assert "--shard-slices" in capsys.readouterr().err
 
-    @pytest.mark.parametrize("flag", ["--pcap", "--trace"])
-    def test_single_network_outputs_rejected(self, tmp_path, capsys, flag):
-        with pytest.raises(SystemExit) as exc_info:
-            main(["scan", "--prefixes", "128", "--shards", "2",
-                  flag, str(tmp_path / "out")])
-        assert exc_info.value.code == 2
-        assert "without --shards" in capsys.readouterr().err
+    def test_trace_composes_with_shards(self, tmp_path, capsys):
+        """PR 9 lifted the old refusal: --trace under --shards writes a
+        merged, validate_trace-clean multi-root forest."""
+        from repro.obs.trace import read_trace, validate_trace
+        trace = tmp_path / "trace.jsonl"
+        assert main(["scan", "--prefixes", "96", "--seed", "3",
+                     "--shards", "2", "--trace", str(trace)]) == 0
+        assert "merged span forest" in capsys.readouterr().out
+        validate_trace(read_trace(str(trace)))
+
+    def test_pcap_composes_with_shards(self, tmp_path, capsys):
+        """PR 9 lifted the old refusal: --pcap under --shards writes one
+        suffixed capture per slice plus a merge note."""
+        assert main(["scan", "--prefixes", "96", "--seed", "3",
+                     "--shards", "2", "--pcap",
+                     str(tmp_path / "out.pcap")]) == 0
+        out = capsys.readouterr().out
+        assert "16 per-slice captures" in out
+        assert "merge externally" in out
+        captures = sorted(tmp_path.glob("out.slice*.pcap"))
+        assert len(captures) == 16
+        assert all(path.stat().st_size > 0 for path in captures)
 
 
 class TestShardedScanCLI:
@@ -432,3 +447,28 @@ class TestShardedScanCLI:
                      "--shards", "2", "--shard-index", "1"]) == 0
         assert "shards: worker 1 of 2, 16 slices" in \
             capsys.readouterr().out
+
+    def test_sharded_progress_honors_interval(self, capsys):
+        """--progress SECONDS throttles the sharded view (it used to
+        print once per completed slice regardless of the interval)."""
+        assert main(["scan", "--prefixes", "96", "--seed", "3",
+                     "--shards", "1", "--progress", "10000"]) == 0
+        lines = [line for line in capsys.readouterr().err.splitlines()
+                 if line.startswith("[shard-progress]")]
+        # First activity renders once, the huge interval suppresses the
+        # rest, and finish() always emits the final done line.
+        assert len(lines) == 2, lines
+        assert lines[-1].startswith("[shard-progress] done slices=16/16")
+        assert "agg_pps=" in lines[-1]
+
+    def test_sharded_trace_deterministic_across_worker_counts(
+            self, tmp_path, capsys):
+        from repro.obs.trace import deterministic_trace, read_trace
+        t1 = tmp_path / "t1.jsonl"
+        t4 = tmp_path / "t4.jsonl"
+        assert main(["scan", "--prefixes", "96", "--seed", "3",
+                     "--shards", "1", "--trace", str(t1)]) == 0
+        assert main(["scan", "--prefixes", "96", "--seed", "3",
+                     "--shards", "4", "--trace", str(t4)]) == 0
+        assert deterministic_trace(read_trace(str(t1))) == \
+            deterministic_trace(read_trace(str(t4)))

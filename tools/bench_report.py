@@ -27,6 +27,7 @@ Usage: python tools/bench_report.py [num_prefixes] [seed]
 from __future__ import annotations
 
 import gc
+import io
 import json
 import os
 import pathlib
@@ -63,6 +64,13 @@ _SCALING_WORKERS = (1, 2, 4, 8)
 _SCALING_TOOL = "flashroute-16"
 #: Best-of repetitions per scaling point.
 _SCALING_REPEATS = 3
+
+#: Worker count and virtual heartbeat interval of the heartbeat-overhead
+#: benchmark (scan --shards N --progress).
+_HEARTBEAT_SHARDS = 4
+_HEARTBEAT_INTERVAL = 0.5
+#: Best-of repetitions per heartbeat mode.
+_HEARTBEAT_REPEATS = 3
 
 
 def flashroute_stream(topology: Topology
@@ -165,6 +173,19 @@ def run_benchmark(num_prefixes: int = None, seed: int = None) -> Dict:
     return report
 
 
+def _aggregate_pps(slice_stats) -> float:
+    """Sum of per-worker CPU-time probing rates from ``slice_stats``."""
+    per_worker: Dict[int, Dict[str, float]] = {}
+    for entry in slice_stats:
+        bucket = per_worker.setdefault(
+            entry["pid"], {"probes": 0, "cpu": 0.0})
+        bucket["probes"] += entry["probes"]
+        bucket["cpu"] += entry["cpu_seconds"]
+    return sum(bucket["probes"] / bucket["cpu"]
+               for bucket in per_worker.values()
+               if bucket["cpu"] > 0)
+
+
 def run_scaling_benchmark(num_prefixes: int = None, seed: int = None,
                           workers: Tuple[int, ...] = _SCALING_WORKERS
                           ) -> Dict:
@@ -202,15 +223,7 @@ def run_scaling_benchmark(num_prefixes: int = None, seed: int = None,
             begin = time.perf_counter()
             outcome = run_sharded_scan(plan, topology=topology)
             wall = time.perf_counter() - begin
-            per_worker: Dict[int, Dict[str, float]] = {}
-            for entry in outcome.slice_stats:
-                bucket = per_worker.setdefault(
-                    entry["pid"], {"probes": 0, "cpu": 0.0})
-                bucket["probes"] += entry["probes"]
-                bucket["cpu"] += entry["cpu_seconds"]
-            aggregate = sum(bucket["probes"] / bucket["cpu"]
-                            for bucket in per_worker.values()
-                            if bucket["cpu"] > 0)
+            aggregate = _aggregate_pps(outcome.slice_stats)
             probes = outcome.result.probes_sent
             if best_wall is None or wall < best_wall:
                 best_wall = wall
@@ -240,6 +253,55 @@ def run_scaling_benchmark(num_prefixes: int = None, seed: int = None,
     if four is not None:
         report["speedup_4v1"] = four["speedup"]
     return report
+
+
+def run_heartbeat_benchmark(num_prefixes: int = None,
+                            seed: int = None) -> Dict:
+    """Worker heartbeat streaming overhead on the sharded path.
+
+    Runs the same ``--shards 4`` scan with heartbeats off (the telemetry
+    default) and on (``--progress``-style: each worker streams throttled
+    heartbeat records to the parent over a multiprocessing queue, and
+    the parent aggregates them into a progress view).  The measure is
+    ``aggregate_pps`` — per-worker CPU-time probing rates — so only the
+    worker-side cost of building and enqueueing heartbeats counts, and
+    the acceptance bar is ``overhead <= 1.15`` (heartbeat-on throughput
+    within 15% of heartbeat-off).  Interleaved best-of, as everywhere.
+    """
+    from repro.core.sharding import ShardPlan, run_sharded_scan
+    from repro.obs.shardobs import ShardProgressView
+
+    topology = bench_topology(num_prefixes, seed)
+    modes = {"heartbeat_off": None, "heartbeat_on": _HEARTBEAT_INTERVAL}
+    best: Dict[str, float] = {}
+    probes = None
+    for _ in range(_HEARTBEAT_REPEATS):
+        for label, interval in modes.items():
+            plan = ShardPlan(tool=_SCALING_TOOL, topology=topology.config,
+                             shards=_HEARTBEAT_SHARDS,
+                             heartbeat_interval=interval)
+            progress = None
+            if interval is not None:
+                progress = ShardProgressView(
+                    slices=plan.slices, workers=plan.shards,
+                    interval=3600.0, stream=io.StringIO())
+            gc.collect()
+            outcome = run_sharded_scan(plan, topology=topology,
+                                       progress=progress)
+            probes = outcome.result.probes_sent
+            aggregate = _aggregate_pps(outcome.slice_stats)
+            if label not in best or aggregate > best[label]:
+                best[label] = aggregate
+    overhead = best["heartbeat_off"] / best["heartbeat_on"]
+    return {
+        "shards": _HEARTBEAT_SHARDS,
+        "heartbeat_interval_virtual_s": _HEARTBEAT_INTERVAL,
+        "probes_per_scan": probes,
+        "heartbeat_off_pps": round(best["heartbeat_off"]),
+        "heartbeat_on_pps": round(best["heartbeat_on"]),
+        "overhead": round(overhead, 3),
+        "criterion": "overhead <= 1.15",
+    }
 
 
 def render_scaling(scaling: Dict) -> str:
@@ -272,6 +334,8 @@ def main() -> int:
     seed = int(sys.argv[2]) if len(sys.argv) > 2 else bench_seed()
     report = run_benchmark(num_prefixes, seed)
     report["scaling"] = run_scaling_benchmark(num_prefixes, seed)
+    report["heartbeat_overhead"] = run_heartbeat_benchmark(num_prefixes,
+                                                           seed)
     path = write_report(report)
     print(json.dumps(report, indent=2, sort_keys=True))
     print(render_scaling(report["scaling"]))
