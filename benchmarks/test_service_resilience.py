@@ -1,0 +1,156 @@
+"""Scan-daemon resilience under overload and hostile clients.
+
+PR 10's service-hardening acceptance numbers: run the load-test
+harness three ways against a daemon with admission control
+(``max_inflight`` slots + a bounded wait queue) —
+
+* **clean**: a full burst sized to exactly the admission capacity
+  (slots + queue), so nothing is shed;
+* **overload**: a 2x burst with the same admission config, where the
+  overflow must come back as structured ``overloaded`` sheds (zero
+  dropped connections, zero daemon crashes);
+* **chaos**: the overload burst plus seeded hostile clients
+  (slow-loris writers, mid-stream disconnects, connection resets,
+  malformed floods) riding alongside.
+
+and regenerate ``BENCH_service_resilience.json`` at the repo root with
+the p99 and error/shed breakdown of the *admitted* requests in every
+mode.
+
+The comparison is the invariant load shedding exists to provide:
+because the queue is bounded, an admitted request waits behind at most
+``max_queued`` others no matter how large the offered load — so the
+admitted population's tail at 2x offered load must match the tail at
+1x.  Acceptance: the daemon survives every mode (the post-burst ping
+answers), overload sheds are structured (``client_exceptions == 0``),
+and the admitted-request p99 under overload stays within
+``ADMITTED_P99_LIMIT`` x the clean p99.  Wall-clock p99s on a shared
+container are noisy, so the ratio compares the best of ``_RUNS``
+alternating runs per mode (the same min-of-N estimator
+BENCH_service_latency uses).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+
+from conftest import run_once
+
+from repro.service.loadtest import run_loadtest
+from repro.testing.chaos import ChaosSpec
+
+REPORT_NAME = "BENCH_service_resilience.json"
+
+_PREFIXES = 256
+_KEYS = 32
+_FLOWS = 4
+_MAX_INFLIGHT = 8
+#: Admission capacity = slots + queue; the clean burst fills it exactly.
+_CLEAN_CLIENTS = int(os.environ.get("REPRO_BENCH_RESILIENCE_CLIENTS",
+                                    "48"))
+_MAX_QUEUED = _CLEAN_CLIENTS - _MAX_INFLIGHT
+_OVERLOAD_CLIENTS = _CLEAN_CLIENTS * 2
+_RUNS = int(os.environ.get("REPRO_BENCH_OVERHEAD_RUNS", "3"))
+
+#: Shedding exists to protect admitted requests: under a 2x overload
+#: burst their p99 may cost at most this factor over the clean burst.
+ADMITTED_P99_LIMIT = 2.0
+
+_CHAOS = ChaosSpec(seed=20201027, slow_loris=6, disconnects=6,
+                   resets=6, malformed=6)
+
+
+def _clean():
+    # Full burst at exactly the admission capacity: every request is
+    # admitted (slots + queue hold the whole burst), nothing is shed —
+    # the baseline tail already includes the bounded queue wait.
+    return run_loadtest(prefixes=_PREFIXES, clients=_CLEAN_CLIENTS,
+                        keys=_KEYS, flows=_FLOWS,
+                        max_inflight=_MAX_INFLIGHT,
+                        max_queued=_MAX_QUEUED)
+
+
+def _overload(chaos=None):
+    return run_loadtest(prefixes=_PREFIXES, clients=_OVERLOAD_CLIENTS,
+                        keys=_KEYS, flows=_FLOWS,
+                        max_inflight=_MAX_INFLIGHT,
+                        max_queued=_MAX_QUEUED, chaos=chaos)
+
+
+def _admitted_p99(report):
+    return report["latency_ms_admitted"]["p99"]
+
+
+def run_resilience_benchmark():
+    clean = _clean()
+    overload = _overload()
+    chaos = _overload(chaos=_CHAOS)
+    clean_p99s = [_admitted_p99(clean)]
+    overload_p99s = [_admitted_p99(overload)]
+    # Alternate modes so machine drift hits both estimates equally.
+    for _ in range(_RUNS - 1):
+        clean_p99s.append(_admitted_p99(_clean()))
+        overload_p99s.append(_admitted_p99(_overload()))
+    clean_p99, overload_p99 = min(clean_p99s), min(overload_p99s)
+    return {
+        "benchmark": "service_resilience",
+        "admission": {"max_inflight": _MAX_INFLIGHT,
+                      "max_queued": _MAX_QUEUED},
+        "clean": clean,
+        "overload": overload,
+        "chaos": chaos,
+        "admitted_p99": {
+            "clean_ms": clean_p99,
+            "overload_ms": overload_p99,
+            "clean_runs_ms": clean_p99s,
+            "overload_runs_ms": overload_p99s,
+            "ratio": round(overload_p99 / clean_p99, 3),
+            "criterion": f"min-of-{_RUNS} overload admitted p99 <= "
+                         f"{ADMITTED_P99_LIMIT} * clean admitted p99",
+        },
+    }
+
+
+def test_service_resilience_report(benchmark, save_result):
+    report = run_once(benchmark, run_resilience_benchmark)
+
+    path = (pathlib.Path(__file__).resolve().parent.parent / REPORT_NAME)
+    path.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n",
+                    encoding="utf-8")
+    save_result("service_resilience",
+                json.dumps({"admitted_p99": report["admitted_p99"],
+                            "overload_outcomes":
+                                report["overload"]["outcomes"]},
+                           sort_keys=True))
+
+    clean, overload, chaos = (report["clean"], report["overload"],
+                              report["chaos"])
+
+    # The daemon survives every mode; nothing ever crashes a
+    # connection instead of answering it.
+    for mode in (clean, overload, chaos):
+        assert mode["daemon_survived"], mode["outcomes"]
+        assert mode["client_exceptions"] == 0, mode["outcomes"]
+        assert mode["outcomes"]["error"] == 0, mode["outcomes"]
+
+    # The clean burst fits the admission capacity: nothing shed.
+    assert clean["outcomes"]["shed"] == 0, clean["outcomes"]
+
+    # Overload sheds the overflow with structured records, and every
+    # request is accounted for: admitted + shed == clients.
+    assert overload["outcomes"]["shed"] > 0, overload["outcomes"]
+    assert overload["admitted"] + overload["outcomes"]["shed"] \
+        == overload["clients"], overload["outcomes"]
+    assert overload["service"]["shed"] == overload["outcomes"]["shed"]
+
+    # The chaos mode also served its measured burst (hostile clients
+    # ride alongside, they don't displace it).
+    assert chaos["chaos"]["daemon"]["client_failures"] == 0, \
+        chaos["chaos"]
+    assert chaos["admitted"] > 0, chaos["outcomes"]
+
+    # Shedding protects the admitted population's tail.
+    ratio = report["admitted_p99"]["ratio"]
+    assert ratio <= ADMITTED_P99_LIMIT, report["admitted_p99"]

@@ -268,6 +268,20 @@ def _build_parser() -> argparse.ArgumentParser:
                            "(default 16); fixed independently of --shards "
                            "so the merged output never depends on the "
                            "worker count")
+    scan.add_argument("--slice-retries", type=_nonneg_int, default=0,
+                      metavar="K",
+                      help="respawn a crashed slice's work up to K times "
+                           "before giving up (default 0); the merged "
+                           "output stays byte-identical to a clean run, "
+                           "and exhausted retries salvage the completed "
+                           "slices into a --resume checkpoint; requires "
+                           "--shards")
+    scan.add_argument("--chaos-spec", metavar="SPEC", default=None,
+                      help="seeded fault injector for resilience drills: "
+                           "a JSON file path or inline JSON (see "
+                           "docs/robustness.md for the spec format); "
+                           "kills shard workers at slice boundaries; "
+                           "requires --shards")
 
     serve = sub.add_parser(
         "serve",
@@ -302,6 +316,29 @@ def _build_parser() -> argparse.ArgumentParser:
                        metavar="MS",
                        help="wall-latency threshold for the slow-request "
                             "log (0 logs every request; default 500)")
+    serve.add_argument("--default-deadline-ms", type=_positive_float,
+                       default=None, metavar="MS",
+                       help="bound every request that does not carry its "
+                            "own deadline_ms; expired requests get a "
+                            "structured deadline_exceeded error "
+                            "(default: no deadline)")
+    serve.add_argument("--max-inflight", type=_positive_int, default=None,
+                       metavar="N",
+                       help="admit at most N concurrent trace streams; "
+                            "overflow beyond the queue is shed with a "
+                            "structured 'overloaded' error (default: "
+                            "unlimited)")
+    serve.add_argument("--max-queued", type=_nonneg_int, default=0,
+                       metavar="N",
+                       help="requests allowed to wait for an admission "
+                            "slot before shedding starts (default 0; "
+                            "only meaningful with --max-inflight)")
+    serve.add_argument("--drain-seconds", type=_nonneg_float, default=5.0,
+                       metavar="S",
+                       help="graceful-shutdown window: in-flight traces "
+                            "get S seconds to finish after SIGTERM or "
+                            "the shutdown op before being cancelled "
+                            "(default 5)")
 
     top = sub.add_parser(
         "top",
@@ -347,6 +384,28 @@ def _build_parser() -> argparse.ArgumentParser:
                             "mode)")
     bench.add_argument("--json", action="store_true",
                        help="print the full report as JSON")
+    bench.add_argument("--max-inflight", type=_positive_int, default=None,
+                       metavar="N",
+                       help="run the daemon with admission control: at "
+                            "most N concurrent trace streams")
+    bench.add_argument("--max-queued", type=_nonneg_int, default=0,
+                       metavar="N",
+                       help="admission queue depth before shedding "
+                            "(with --max-inflight)")
+    bench.add_argument("--default-deadline-ms", type=_positive_float,
+                       default=None, metavar="MS",
+                       help="run the daemon with a default per-request "
+                            "deadline")
+    bench.add_argument("--deadline-ms", type=_positive_float,
+                       default=None, metavar="MS",
+                       help="stamp every burst request with this "
+                            "client-side deadline_ms")
+    bench.add_argument("--chaos", action="store_true",
+                       help="run hostile clients (slow-loris, mid-stream "
+                            "disconnects, resets, malformed floods) "
+                            "alongside the measured burst")
+    bench.add_argument("--chaos-seed", type=int, default=0,
+                       help="seed for the chaos injector (default 0)")
 
     experiment = sub.add_parser("experiment",
                                 help="regenerate a paper table/figure")
@@ -431,6 +490,14 @@ def _validate_shard_flags(args: argparse.Namespace) -> None:
                 f"--shards ({args.shards}) must not exceed --shard-slices "
                 f"({args.shard_slices}); extra workers would idle — raise "
                 f"--shard-slices or lower --shards")
+    if getattr(args, "slice_retries", 0) and args.shards is None:
+        raise _scan_flag_error(
+            "--slice-retries requires --shards N (retries respawn "
+            "work in the shard pool)")
+    if getattr(args, "chaos_spec", None) is not None and args.shards is None:
+        raise _scan_flag_error(
+            "--chaos-spec requires --shards N (the injector kills "
+            "shard workers at slice boundaries)")
 
 
 def _invocation_meta(args: argparse.Namespace) -> Dict[str, object]:
@@ -657,6 +724,27 @@ def _run_sharded_scan(args: argparse.Namespace,
     if checkpoint_path is None and args.resume is not None:
         checkpoint_path = args.resume
 
+    chaos = None
+    if getattr(args, "chaos_spec", None) is not None:
+        from .testing.chaos import ChaosError, load_chaos_spec
+
+        try:
+            chaos = load_chaos_spec(args.chaos_spec)
+        except ChaosError as exc:
+            raise _scan_flag_error(f"--chaos-spec: {exc}")
+
+    salvage_path = None
+    if (args.slice_retries or chaos is not None) \
+            and checkpoint_path is None:
+        # Exhausted retries must leave something resumable even when
+        # the user never asked for checkpoints: derive a salvage file
+        # next to the output.
+        if args.output is not None:
+            salvage_path = os.path.splitext(args.output)[0] \
+                + ".salvage.ckpt"
+        else:
+            salvage_path = "flashroute-scan.salvage.ckpt"
+
     interrupt_after = args.interrupt_after_round
     progress_view = None
     if args.progress is not None:
@@ -683,7 +771,10 @@ def _run_sharded_scan(args: argparse.Namespace,
             resume_state=resume_state,
             slice_hook=slice_hook if interrupt_after is not None
             else None,
-            progress=progress_view)
+            progress=progress_view,
+            slice_retries=args.slice_retries,
+            chaos=chaos,
+            salvage_path=salvage_path)
     except CheckpointError as exc:
         print(f"resume: {exc}", file=sys.stderr)
         return 2
@@ -801,7 +892,11 @@ def _run_serve(args: argparse.Namespace) -> int:
                                socket_path=args.socket,
                                cache_size=cache_size,
                                telemetry=telemetry,
-                               metrics_out=args.metrics_out)
+                               metrics_out=args.metrics_out,
+                               default_deadline_ms=args.default_deadline_ms,
+                               max_inflight=args.max_inflight,
+                               max_queued=args.max_queued,
+                               drain_seconds=args.drain_seconds)
     except KeyboardInterrupt:
         print("serve: interrupted", file=sys.stderr)
         return 130
@@ -828,10 +923,21 @@ def _run_top(args: argparse.Namespace) -> int:
 def _run_serve_bench(args: argparse.Namespace) -> int:
     from .service.loadtest import run_loadtest
 
+    chaos = None
+    if args.chaos:
+        from .testing.chaos import ChaosSpec
+
+        chaos = ChaosSpec(seed=args.chaos_seed, slow_loris=4,
+                          disconnects=4, resets=4, malformed=4)
     report = run_loadtest(prefixes=args.prefixes, seed=args.seed,
                           clients=args.clients, keys=args.keys,
                           flows=args.flows, concurrency=args.concurrency,
-                          telemetry=args.telemetry)
+                          telemetry=args.telemetry,
+                          max_inflight=args.max_inflight,
+                          max_queued=args.max_queued,
+                          default_deadline_ms=args.default_deadline_ms,
+                          deadline_ms=args.deadline_ms,
+                          chaos=chaos)
     if args.output is not None:
         with open(args.output, "w", encoding="utf-8") as stream:
             json.dump(report, stream, indent=2, sort_keys=True)
@@ -853,6 +959,20 @@ def _run_serve_bench(args: argparse.Namespace) -> int:
         print(f"  outcomes: {report['outcomes']} "
               f"hit_rate={report['cache_hit_rate']} "
               f"coalesce_rate={report['coalesce_rate']}")
+        if "latency_ms_admitted" in report:
+            admitted = report["latency_ms_admitted"]
+            print(f"  admitted: n={report['admitted']} "
+                  f"p50={admitted.get('p50')}ms "
+                  f"p99={admitted.get('p99')}ms "
+                  f"client_exceptions={report['client_exceptions']} "
+                  f"daemon_survived={report['daemon_survived']}")
+        if "chaos" in report and report["chaos"].get("daemon"):
+            hostile = report["chaos"]["daemon"]
+            print(f"  chaos: {hostile['clients']} hostile clients "
+                  f"(slow_loris={hostile['slow_loris']} "
+                  f"disconnects={hostile['disconnects']} "
+                  f"resets={hostile['resets']} "
+                  f"malformed={hostile['malformed']})")
         if args.output is not None:
             print(f"  saved: {args.output}")
     return 0

@@ -30,8 +30,10 @@ to the seed behaviour, and engines receive ``resilience=None`` by default.
 
 from __future__ import annotations
 
+import contextlib
 import hashlib
 import json
+import os
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple
 
@@ -372,7 +374,13 @@ def _state_checksum(state: dict) -> str:
 
 def write_checkpoint(path: str, engine: str, state: dict,
                      meta: Optional[dict] = None) -> str:
-    """Write a versioned, checksummed checkpoint file; returns ``path``."""
+    """Write a versioned, checksummed checkpoint file; returns ``path``.
+
+    The write is atomic: the document lands in ``path + ".tmp"`` first
+    and is renamed over ``path`` only once fully flushed, so a crash
+    mid-write can truncate at most the tmp file — the last complete
+    checkpoint stays loadable and ``--resume`` never sees a torn file.
+    """
     document = {
         "format": CHECKPOINT_FORMAT,
         "version": CHECKPOINT_VERSION,
@@ -381,9 +389,20 @@ def write_checkpoint(path: str, engine: str, state: dict,
         "state_sha256": _state_checksum(state),
         "state": state,
     }
-    with open(path, "w", encoding="utf-8") as stream:
-        json.dump(document, stream, sort_keys=True)
-        stream.write("\n")
+    tmp_path = path + ".tmp"
+    try:
+        with open(tmp_path, "w", encoding="utf-8") as stream:
+            json.dump(document, stream, sort_keys=True)
+            stream.write("\n")
+            stream.flush()
+            os.fsync(stream.fileno())
+        os.replace(tmp_path, path)
+    except BaseException:
+        # Never leave a half-written tmp behind on the failure path; the
+        # previous complete checkpoint at ``path`` is untouched either way.
+        with contextlib.suppress(OSError):
+            os.remove(tmp_path)
+        raise
     return path
 
 

@@ -77,14 +77,31 @@ SHARDED_ENGINE = "sharded"
 
 class ShardError(RuntimeError):
     """A worker failed while scanning one slice; carries the slice index
-    and the worker's formatted traceback."""
+    and the worker's formatted traceback.
 
-    def __init__(self, slice_index: int, worker_traceback: str) -> None:
-        super().__init__(
-            f"slice {slice_index} failed in a shard worker:\n"
-            f"{worker_traceback}")
+    ``attempts`` counts how many times the slice was tried (1 + the
+    exhausted ``--slice-retries`` budget); ``checkpoint_path`` names the
+    salvage checkpoint holding every *completed* slice, when one could
+    be written — ``--resume`` finishes the scan from it byte-identically
+    instead of discarding the work.
+    """
+
+    def __init__(self, slice_index: int, worker_traceback: str,
+                 attempts: int = 1,
+                 checkpoint_path: Optional[str] = None) -> None:
+        message = f"slice {slice_index} failed in a shard worker"
+        if attempts > 1:
+            message += f" (all {attempts} attempts)"
+        message += f":\n{worker_traceback}"
+        if checkpoint_path is not None:
+            message += (f"\ncompleted slices salvaged to "
+                        f"{checkpoint_path} (finish with --resume "
+                        f"{checkpoint_path})")
+        super().__init__(message)
         self.slice_index = slice_index
         self.worker_traceback = worker_traceback
+        self.attempts = attempts
+        self.checkpoint_path = checkpoint_path
 
 
 @dataclass(frozen=True)
@@ -200,6 +217,9 @@ class ShardedOutcome:
     events_payload: Optional[object] = None  # str (JSONL) or bytes
     slices_total: int = 0
     slices_resumed: int = 0
+    #: Failed slice attempts that were re-run under ``--slice-retries``
+    #: (0 on a clean run; never affects the merged byte-stable outputs).
+    slices_retried: int = 0
     #: Per-slice wall-side accounting (slice, worker pid, CPU seconds,
     #: wall seconds, probes) in slice order; the scaling benchmark sums
     #: per-worker throughput from it.  Slices restored from a checkpoint
@@ -285,7 +305,8 @@ _WORKER: Dict[str, object] = {}
 
 def _worker_init(plan: ShardPlan,
                  slice_targets: List[Dict[int, int]],
-                 heartbeat: Optional[object] = None) -> None:
+                 heartbeat: Optional[object] = None,
+                 chaos: Optional[object] = None) -> None:
     """Populate the worker's shared read-only context exactly once.
 
     Under ``fork`` the parent populated :data:`_WORKER` before creating
@@ -296,11 +317,15 @@ def _worker_init(plan: ShardPlan,
 
     ``heartbeat`` is the upstream heartbeat channel: a multiprocessing
     queue (pool mode) or a direct callable (sequential mode); ``None``
-    streams nothing.  Normalized to an ``emit`` callable here, outside
-    the plan-equality fast path, so a fork-inherited context still picks
-    up this run's channel.
+    streams nothing.  ``chaos`` is this run's (picklable)
+    :class:`~repro.testing.chaos.ChaosSpec`, or ``None``.  Both are
+    per-run state, normalized outside the plan-equality fast path, so a
+    fork-inherited context still picks up this run's channel and spec —
+    they are deliberately not part of the plan, whose equality gates the
+    topology rebuild.
     """
     _WORKER["heartbeat"] = getattr(heartbeat, "put", heartbeat)
+    _WORKER["chaos"] = chaos
     if _WORKER.get("plan") == plan and _WORKER.get("topology") is not None:
         return
     _WORKER["plan"] = plan
@@ -418,21 +443,32 @@ def _execute_slice(plan: ShardPlan, topology: Topology,
     return payload
 
 
-def _run_slice_job(slice_index: int) -> Dict[str, object]:
-    """Pool entry point: run one slice from the worker context.
+def _run_slice_job(job) -> Dict[str, object]:
+    """Pool entry point: run one slice attempt from the worker context.
 
-    Failures are returned as payloads (not raised) so the parent can
-    attribute them to the slice and fail the whole scan with the worker's
-    traceback (see :class:`ShardError`).
+    ``job`` is ``(slice_index, attempt)`` (a bare index means attempt
+    0).  Failures are returned as payloads (not raised) so the parent
+    can attribute them to the slice and either retry it under the
+    ``--slice-retries`` budget or fail the scan with the worker's
+    traceback (see :class:`ShardError`).  A chaos spec in the worker
+    context may kill the attempt at the slice boundary — through the
+    very same error-payload path a real crash takes.
     """
+    slice_index, attempt = job if isinstance(job, tuple) else (job, 0)
     try:
+        chaos = _WORKER.get("chaos")
+        if chaos is not None:
+            from ..testing.chaos import maybe_kill_slice
+
+            maybe_kill_slice(chaos, slice_index, attempt)
         return _execute_slice(_WORKER["plan"], _WORKER["topology"],
                               _WORKER["slice_targets"][slice_index],
                               slice_index)
     except KeyboardInterrupt:  # pragma: no cover - propagation path
         raise
     except BaseException:
-        return {"slice": slice_index, "error": traceback.format_exc()}
+        return {"slice": slice_index, "attempt": attempt,
+                "error": traceback.format_exc()}
 
 
 # --------------------------------------------------------------------- #
@@ -693,6 +729,9 @@ def run_sharded_scan(plan: ShardPlan, *,
                      slice_hook: Optional[Callable[[int], None]] = None,
                      progress=None,
                      start_method: Optional[str] = None,
+                     slice_retries: int = 0,
+                     chaos=None,
+                     salvage_path: Optional[str] = None,
                      ) -> ShardedOutcome:
     """Run a sharded scan end to end and return the merged outcome.
 
@@ -713,7 +752,22 @@ def run_sharded_scan(plan: ShardPlan, *,
     sequential mode.  ``start_method`` forces a specific multiprocessing
     start method (``"fork"``/``"spawn"``) for tests; the default picks
     fork where available.
+
+    ``slice_retries`` is the per-slice retry budget: a crashed slice is
+    re-run (in a later pass over the same pool) up to that many extra
+    times.  Slice subscans are deterministic, so a retried run's merged
+    output is byte-identical to a clean one.  When a slice exhausts the
+    budget, every *completed* slice is salvaged into a PR 5/6-format
+    checkpoint — at ``checkpoint_path`` when set, else ``salvage_path``
+    — and the raised :class:`ShardError` carries that path so
+    ``--resume`` can finish the scan instead of discarding the work.
+    ``chaos`` is an optional
+    :class:`~repro.testing.chaos.ChaosSpec` whose seeded worker kills
+    exercise exactly this machinery.
     """
+    if slice_retries < 0:
+        raise ValueError(
+            f"slice_retries must be >= 0, got {slice_retries}")
     if topology is None:
         topology = Topology(plan.topology)
     slice_targets = build_slice_targets(topology, plan)
@@ -721,22 +775,43 @@ def run_sharded_scan(plan: ShardPlan, *,
     if resume_state is not None:
         completed = load_sharded_state(plan, resume_state)
     slices_resumed = len(completed)
+    slices_retried = 0
     pending = [index for index in range(plan.slices)
                if index not in completed]
     if plan.shard_index is not None:
         pending = [index for index in pending
                    if index % plan.shards == plan.shard_index]
 
-    def flush_checkpoint() -> Optional[str]:
-        if checkpoint_path is None:
+    def flush_checkpoint(target: Optional[str] = None) -> Optional[str]:
+        path = target if target is not None else checkpoint_path
+        if path is None:
             return None
-        return write_checkpoint(checkpoint_path, SHARDED_ENGINE,
+        return write_checkpoint(path, SHARDED_ENGINE,
                                 _checkpoint_state(plan, completed),
                                 meta=checkpoint_meta)
 
-    def on_complete(payload: Dict[str, object]) -> None:
+    def salvage() -> Optional[str]:
+        """Exhausted retries: persist every completed slice so the scan
+        can be finished with ``--resume`` (an empty-state checkpoint is
+        still written — the contract is that exhausted retries always
+        leave something resumable when a path is configured)."""
+        target = checkpoint_path if checkpoint_path is not None \
+            else salvage_path
+        if target is None:
+            return None
+        return flush_checkpoint(target)
+
+    def on_complete(payload: Dict[str, object], attempt: int,
+                    failed: List[int]) -> None:
+        nonlocal slices_retried
         if "error" in payload:
-            raise ShardError(payload["slice"], payload["error"])
+            if attempt < slice_retries:
+                slices_retried += 1
+                failed.append(payload["slice"])
+                return
+            raise ShardError(payload["slice"], payload["error"],
+                             attempts=attempt + 1,
+                             checkpoint_path=salvage())
         completed[payload["slice"]] = payload
         finished = len(completed)
         if checkpoint_path is not None and checkpoint_every \
@@ -755,40 +830,57 @@ def run_sharded_scan(plan: ShardPlan, *,
     try:
         if workers <= 1:
             # Sequential mode: heartbeats short-circuit the queue and
-            # feed the view directly.
+            # feed the view directly.  Failed slices carry over into the
+            # next pass (attempt) until the retry budget runs dry.
             _worker_init(plan, slice_targets,
                          heartbeat=progress.observe if heartbeats
-                         else None)
-            for index in pending:
-                on_complete(_run_slice_job(index))
+                         else None,
+                         chaos=chaos)
+            to_run, attempt = list(pending), 0
+            while to_run:
+                failed: List[int] = []
+                for index in to_run:
+                    on_complete(_run_slice_job((index, attempt)),
+                                attempt, failed)
+                to_run, attempt = sorted(failed), attempt + 1
         else:
             # Populate the parent-side context first so fork()ed workers
             # inherit the built topology copy-on-write (the worker-init
             # contract); spawn-based platforms rebuild it per worker from
-            # the picklable plan (the queue rides along in initargs,
-            # which multiprocessing allows during worker spawning).
+            # the picklable plan (the queue and chaos spec ride along in
+            # initargs, which multiprocessing allows during worker
+            # spawning).  Retry passes resubmit only the failed slices
+            # to the same pool — respawning the work, not the scan.
             context = _pool_context(start_method)
             heartbeat_queue = context.Queue() if heartbeats else None
-            _worker_init(plan, slice_targets, heartbeat=heartbeat_queue)
+            _worker_init(plan, slice_targets, heartbeat=heartbeat_queue,
+                         chaos=chaos)
             with context.Pool(processes=workers,
                               initializer=_worker_init,
                               initargs=(plan, slice_targets,
-                                        heartbeat_queue)) as pool:
-                iterator = pool.imap_unordered(_run_slice_job, pending)
-                remaining = len(pending)
-                while remaining:
-                    if heartbeat_queue is not None:
-                        try:
-                            payload = iterator.next(
-                                _HEARTBEAT_POLL_SECONDS)
-                        except multiprocessing.TimeoutError:
+                                        heartbeat_queue, chaos)) as pool:
+                to_run, attempt = list(pending), 0
+                while to_run:
+                    failed = []
+                    iterator = pool.imap_unordered(
+                        _run_slice_job,
+                        [(index, attempt) for index in to_run])
+                    remaining = len(to_run)
+                    while remaining:
+                        if heartbeat_queue is not None:
+                            try:
+                                payload = iterator.next(
+                                    _HEARTBEAT_POLL_SECONDS)
+                            except multiprocessing.TimeoutError:
+                                _drain_heartbeats(heartbeat_queue,
+                                                  progress)
+                                continue
                             _drain_heartbeats(heartbeat_queue, progress)
-                            continue
-                        _drain_heartbeats(heartbeat_queue, progress)
-                    else:
-                        payload = next(iterator)
-                    remaining -= 1
-                    on_complete(payload)
+                        else:
+                            payload = next(iterator)
+                        remaining -= 1
+                        on_complete(payload, attempt, failed)
+                    to_run, attempt = sorted(failed), attempt + 1
                 if heartbeat_queue is not None:
                     _drain_heartbeats(heartbeat_queue, progress)
     except KeyboardInterrupt:
@@ -815,6 +907,7 @@ def run_sharded_scan(plan: ShardPlan, *,
         events_payload=_merged_events(plan, ordered),
         slices_total=plan.slices,
         slices_resumed=slices_resumed,
+        slices_retried=slices_retried,
         slice_stats=[{"slice": payload["slice"],
                       "pid": payload.get("pid"),
                       "cpu_seconds": payload.get("cpu_seconds"),

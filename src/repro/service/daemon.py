@@ -36,9 +36,10 @@ import asyncio
 import contextlib
 import json
 import math
-from collections import OrderedDict
+import signal
+from collections import OrderedDict, deque
 from dataclasses import dataclass, field
-from typing import AsyncIterator, Dict, List, Optional, Tuple
+from typing import AsyncIterator, Deque, Dict, List, Optional, Set, Tuple
 
 from ..api import Engine, ScanRequest, TraceRequest
 from .obs import ServiceTelemetry
@@ -57,9 +58,24 @@ DEFAULT_CACHE_SIZE = 4096
 #: daemon as not live — the loop is too far behind to serve promptly.
 LIVENESS_LAG_MS = 1000.0
 
+#: Default graceful-drain window (wall seconds): in-flight streams get
+#: this long to finish after SIGTERM / ``shutdown`` before they are
+#: cancelled and their subscribers receive an error record.
+DEFAULT_DRAIN_SECONDS = 5.0
+
+#: Unit of the ``retry_after_ms`` hint attached to ``overloaded`` sheds:
+#: the hint scales linearly with the work already admitted + queued, so
+#: backing clients off harder the deeper the backlog.
+RETRY_AFTER_UNIT_MS = 100.0
+
 
 class ServiceError(ValueError):
     """A client-visible request failure (maps to an ``error`` record)."""
+
+
+class _DeadlineExceeded(Exception):
+    """Internal control flow: a request ran out of its deadline budget
+    mid-stream (converted to a ``deadline_exceeded`` error record)."""
 
 
 @dataclass
@@ -139,12 +155,36 @@ class TraceService:
     def __init__(self, engine: Engine,
                  cache_size: int = DEFAULT_CACHE_SIZE,
                  trace_tick: float = TRACE_TICK,
-                 telemetry: Optional[ServiceTelemetry] = None) -> None:
+                 telemetry: Optional[ServiceTelemetry] = None,
+                 default_deadline_ms: Optional[float] = None,
+                 max_inflight: Optional[int] = None,
+                 max_queued: int = 0) -> None:
         if cache_size < 0:
             raise ValueError("cache_size must be >= 0")
+        if default_deadline_ms is not None and (
+                not math.isfinite(default_deadline_ms)
+                or default_deadline_ms <= 0):
+            raise ValueError(
+                "default_deadline_ms must be a positive finite number")
+        if max_inflight is not None and max_inflight < 1:
+            raise ValueError("max_inflight must be >= 1 (or None)")
+        if max_queued < 0:
+            raise ValueError("max_queued must be >= 0")
         self.engine = engine
         self.cache_size = cache_size
         self.trace_tick = trace_tick
+        #: Server-side deadline applied to requests that carry none of
+        #: their own; ``None`` (the default) imposes no deadline.
+        self.default_deadline_ms = default_deadline_ms
+        #: Admission control: at most ``max_inflight`` trace requests
+        #: being served at once, at most ``max_queued`` more waiting for
+        #: a slot; overflow is shed with a structured ``overloaded``
+        #: error.  ``None`` (the default) admits everything.
+        self.max_inflight = max_inflight
+        self.max_queued = max_queued
+        #: Graceful-drain latch: once set, new trace requests are shed
+        #: with a ``draining`` error while control ops keep answering.
+        self.draining = False
         #: Optional observability bundle (``None`` keeps every request
         #: path on the uninstrumented code, matching repro.obs's
         #: zero-overhead contract).
@@ -159,6 +199,12 @@ class TraceService:
         self._cache: "OrderedDict[Tuple[int, int], CacheEntry]" = \
             OrderedDict()
         self._flights: Dict[Tuple[int, int], Flight] = {}
+        # Admission bookkeeping: an explicit counter plus a FIFO of
+        # waiter futures (not an asyncio.Semaphore — the explicit deque
+        # keeps cancelled/timed-out waiters from swallowing released
+        # slots and gives the shed path an exact queue depth).
+        self._admitted = 0
+        self._admit_queue: Deque[asyncio.Future] = deque()
         # Counters (all monotonic; surfaced by the stats control op).
         self.requests = 0
         self.traces_started = 0
@@ -168,6 +214,9 @@ class TraceService:
         self.evicted_epoch = 0
         self.evicted_lru = 0
         self.probes_sent = 0
+        self.deadlined = 0
+        self.shed = 0
+        self.internal_errors = 0
 
     # -- time and epochs -------------------------------------------------
 
@@ -218,6 +267,93 @@ class TraceService:
     @property
     def inflight(self) -> int:
         return len(self._flights)
+
+    # -- deadlines and admission control ---------------------------------
+
+    def _take_deadline(self, payload: dict) -> Optional[float]:
+        """Pop the client-supplied ``deadline_ms`` (like ``id``, a
+        transport-level field the :class:`TraceRequest` schema never
+        sees); fall back to the server default.  Raises
+        :class:`ServiceError` on a non-positive or non-finite value."""
+        value = payload.pop("deadline_ms", None) \
+            if isinstance(payload, dict) else None
+        if value is None:
+            return self.default_deadline_ms
+        if isinstance(value, bool) or not isinstance(value, (int, float)) \
+                or not math.isfinite(value) or value <= 0:
+            raise ServiceError(
+                "deadline_ms must be a positive finite number of "
+                "milliseconds")
+        return float(value)
+
+    def _deadline_record(self, deadline_ms: Optional[float]) -> dict:
+        return {"type": "error", "code": "deadline_exceeded",
+                "error": f"deadline of {deadline_ms:g} ms exceeded",
+                "deadline_ms": deadline_ms}
+
+    def _retry_after_ms(self) -> float:
+        """The backoff hint shed responses carry: linear in the backlog
+        (admitted + queued), so deeper overload pushes clients further
+        out.  Deterministic in the admission state."""
+        backlog = self._admitted + len(self._admit_queue)
+        return round(RETRY_AFTER_UNIT_MS * max(1, backlog), 1)
+
+    async def _acquire_slot(self, loop,
+                            deadline_at: Optional[float]
+                            ) -> Optional[str]:
+        """Admission gate (only called when ``max_inflight`` is set).
+
+        Returns ``None`` once a slot is held, ``"shed"`` when the wait
+        queue is full, ``"deadline"`` when the request's deadline
+        expired while queued.  FIFO: a freed slot goes to the oldest
+        still-live waiter (see :meth:`_release_slot`).
+        """
+        if self._admitted < self.max_inflight and not self._admit_queue:
+            self._admitted += 1
+            return None
+        if len(self._admit_queue) >= self.max_queued:
+            return "shed"
+        future: asyncio.Future = loop.create_future()
+        self._admit_queue.append(future)
+        try:
+            if deadline_at is None:
+                await future
+            else:
+                remaining = deadline_at - loop.time()
+                if remaining <= 0:
+                    raise asyncio.TimeoutError
+                await asyncio.wait_for(future, remaining)
+            # Granted: _release_slot already moved the slot count to us
+            # and popped the future from the queue.
+            return None
+        except asyncio.TimeoutError:
+            granted = future.done() and not future.cancelled()
+            with contextlib.suppress(ValueError):
+                self._admit_queue.remove(future)
+            if granted:  # pragma: no cover - same-tick grant/timeout race
+                self._release_slot()
+            return "deadline"
+        except BaseException:
+            # Client vanished (or the handler was cancelled) while
+            # queued: surrender the queue position — and the slot, if
+            # one was granted in the same tick.
+            if future.done() and not future.cancelled():
+                self._release_slot()
+            else:
+                with contextlib.suppress(ValueError):
+                    self._admit_queue.remove(future)
+            raise
+
+    def _release_slot(self) -> None:
+        """Free one admission slot and hand it to the oldest live
+        waiter (skipping waiters that timed out or were cancelled)."""
+        self._admitted -= 1
+        while self._admit_queue:
+            future = self._admit_queue.popleft()
+            if not future.done():
+                self._admitted += 1
+                future.set_result(None)
+                return
 
     # -- flights ---------------------------------------------------------
 
@@ -273,13 +409,75 @@ class TraceService:
         """Serve one trace request as a stream of protocol records.
 
         Yields ``hop`` records followed by exactly one terminal record
-        (``done`` or ``error``).  Raises nothing: malformed requests
-        become ``error`` records.
+        (``done`` or ``error``).  Raises nothing: malformed requests,
+        expired deadlines, admission refusals and even engine/session
+        bugs all become structured ``error`` records — one failing
+        request never kills the daemon.
+
+        Gate order: deadline extraction → drain latch → admission →
+        parse/serve.  A shed request is refused before any parsing or
+        engine work is spent on it.
         """
         obs = self.telemetry
         ctx = obs.begin_request(self.now) if obs is not None else None
         self.requests += 1
+        admitted = False
         try:
+            try:
+                deadline_ms = self._take_deadline(payload)
+            except ServiceError as exc:
+                self.errors += 1
+                if ctx is not None:
+                    ctx.phase("respond", self.now)
+                yield {"type": "error", "error": str(exc)}
+                if ctx is not None:
+                    obs.finish_request(self, ctx, "error", self.now,
+                                       error=str(exc))
+                return
+            loop = asyncio.get_running_loop()
+            deadline_at = (loop.time() + deadline_ms / 1000.0
+                           if deadline_ms is not None else None)
+            if self.draining:
+                self.shed += 1
+                if obs is not None:
+                    obs.record_shed("draining")
+                if ctx is not None:
+                    ctx.phase("respond", self.now)
+                yield {"type": "error", "code": "draining",
+                       "error": "daemon is draining (shutting down); "
+                                "no new traces are accepted"}
+                if ctx is not None:
+                    obs.finish_request(self, ctx, "shed", self.now,
+                                       error="draining")
+                return
+            if self.max_inflight is not None:
+                verdict = await self._acquire_slot(loop, deadline_at)
+                if verdict == "shed":
+                    self.shed += 1
+                    if obs is not None:
+                        obs.record_shed("overloaded")
+                    if ctx is not None:
+                        ctx.phase("respond", self.now)
+                    yield {"type": "error", "code": "overloaded",
+                           "error": f"server overloaded "
+                                    f"({self._admitted} in flight, "
+                                    f"{len(self._admit_queue)} queued)",
+                           "retry_after_ms": self._retry_after_ms()}
+                    if ctx is not None:
+                        obs.finish_request(self, ctx, "shed", self.now,
+                                           error="overloaded")
+                    return
+                if verdict == "deadline":
+                    self.deadlined += 1
+                    if ctx is not None:
+                        ctx.phase("respond", self.now)
+                    yield self._deadline_record(deadline_ms)
+                    if ctx is not None:
+                        obs.finish_request(self, ctx, "deadline",
+                                           self.now,
+                                           error="deadline_exceeded")
+                    return
+                admitted = True
             try:
                 request = TraceRequest.parse(payload)
                 key = request.key
@@ -325,21 +523,59 @@ class TraceService:
                     obs.finish_request(self, ctx, "error", self.now,
                                        error=str(exc))
                 return
+            except Exception as exc:
+                # Session-exception isolation: a broken ScanSession /
+                # TraceSession (or engine bug) answers this one request
+                # with a structured record and leaves the daemon up.
+                self.errors += 1
+                self.internal_errors += 1
+                message = (f"internal error: "
+                           f"{exc.__class__.__name__}: {exc}")
+                if ctx is not None:
+                    ctx.phase("respond", self.now)
+                yield {"type": "error", "code": "internal",
+                       "error": message}
+                if ctx is not None:
+                    obs.finish_request(self, ctx, "error", self.now,
+                                       error=message)
+                return
             replay, queue = flight.subscribe()
             try:
-                for record in replay:
-                    yield {"type": "hop", **record}
-                if queue is not None:
-                    while True:
-                        item = await queue.get()
-                        if item is Flight._DONE:
-                            break
-                        yield {"type": "hop", **item}
-            finally:
-                # A disconnected client must not leave its queue behind
-                # on a still-running flight.
-                if queue is not None:
-                    flight.unsubscribe(queue)
+                try:
+                    for record in replay:
+                        yield {"type": "hop", **record}
+                    if queue is not None:
+                        while True:
+                            if deadline_at is None:
+                                item = await queue.get()
+                            else:
+                                remaining = deadline_at - loop.time()
+                                if remaining <= 0:
+                                    raise _DeadlineExceeded
+                                try:
+                                    item = await asyncio.wait_for(
+                                        queue.get(), remaining)
+                                except asyncio.TimeoutError:
+                                    raise _DeadlineExceeded from None
+                            if item is Flight._DONE:
+                                break
+                            yield {"type": "hop", **item}
+                finally:
+                    # A disconnected (or deadlined) client must not
+                    # leave its queue behind on a still-running flight;
+                    # the flight itself runs on so the result is cached.
+                    if queue is not None:
+                        flight.unsubscribe(queue)
+            except _DeadlineExceeded:
+                self.deadlined += 1
+                if ctx is not None:
+                    ctx.phase("respond", self.now)
+                yield self._deadline_record(deadline_ms)
+                if ctx is not None:
+                    obs.finish_request(self, ctx, "deadline", self.now,
+                                       hops=len(flight.hops),
+                                       error="deadline_exceeded")
+                return
             if ctx is not None:
                 ctx.phase("respond", self.now)
             if flight.error is not None:
@@ -361,6 +597,8 @@ class TraceService:
                         virtual_ms=self._virtual_ms(flight.result),
                         probes=probes, hops=len(flight.hops))
         finally:
+            if admitted:
+                self._release_slot()
             # A client that vanished mid-stream (GeneratorExit lands
             # here) still completes its request record, so the outcome
             # counters stay coherent: requests == sum of all outcomes.
@@ -414,6 +652,7 @@ class TraceService:
             "ready": self.ready,
             "live": live,
             "status": "ok" if (self.ready and live) else "degraded",
+            "draining": self.draining,
             "inflight": self.inflight,
             "requests": self.requests,
             "errors": self.errors,
@@ -433,6 +672,11 @@ class TraceService:
             "cache_hits": self.cache_hits,
             "coalesced": self.coalesced,
             "errors": self.errors,
+            "deadline_exceeded": self.deadlined,
+            "shed": self.shed,
+            "internal_errors": self.internal_errors,
+            "draining": self.draining,
+            "queued": len(self._admit_queue),
             "probes_sent": self.probes_sent,
             "cache_entries": self.cache_len,
             "cache_evicted_epoch": self.evicted_epoch,
@@ -449,6 +693,21 @@ class TraceService:
                  if flight.task is not None]
         if tasks:
             await asyncio.gather(*tasks, return_exceptions=True)
+
+    def cancel_flights(self) -> int:
+        """Cancel every in-flight trace task (drain-timeout teardown).
+
+        Each cancelled flight finishes with a ``trace cancelled
+        (shutdown)`` error, which wakes all its subscribers; the
+        streams close with a structured error record rather than a
+        hang.  Returns the number of flights cancelled.
+        """
+        cancelled = 0
+        for flight in list(self._flights.values()):
+            if flight.task is not None and not flight.task.done():
+                flight.task.cancel()
+                cancelled += 1
+        return cancelled
 
 
 # --------------------------------------------------------------------- #
@@ -469,7 +728,15 @@ async def _write_record(writer: asyncio.StreamWriter, record: dict) -> None:
 async def _handle_connection(service: TraceService,
                              shutdown: asyncio.Event,
                              reader: asyncio.StreamReader,
-                             writer: asyncio.StreamWriter) -> None:
+                             writer: asyncio.StreamWriter,
+                             connections: Optional[Set[asyncio.Task]] = None
+                             ) -> None:
+    # Track this handler task so drain() can cancel connections that sit
+    # idle in readline() (wait_closed() does not wait for handlers, and
+    # an idle client would otherwise hold the drain open forever).
+    task = asyncio.current_task()
+    if connections is not None and task is not None:
+        connections.add(task)
     try:
         while True:
             try:
@@ -517,13 +784,39 @@ async def _handle_connection(service: TraceService,
                 except ServiceError as exc:
                     service.errors += 1
                     response = {"type": "error", "error": str(exc)}
+                except Exception as exc:
+                    # A control-op bug answers this request, not the
+                    # whole connection (let alone the daemon).
+                    service.errors += 1
+                    service.internal_errors += 1
+                    response = {"type": "error", "code": "internal",
+                                "error": f"internal error: "
+                                         f"{exc.__class__.__name__}: "
+                                         f"{exc}"}
                 await _write_record(writer, stamped(response))
                 continue
-            async for record in service.handle_trace(payload):
-                await _write_record(writer, stamped(record))
+            try:
+                async for record in service.handle_trace(payload):
+                    await _write_record(writer, stamped(record))
+            except (ConnectionResetError, BrokenPipeError,
+                    asyncio.CancelledError):
+                raise
+            except Exception as exc:
+                # Belt and braces: handle_trace already converts
+                # session exceptions to error records, but a failure in
+                # the stream machinery itself must not drop the
+                # connection without a terminal record.
+                service.errors += 1
+                service.internal_errors += 1
+                await _write_record(writer, stamped({
+                    "type": "error", "code": "internal",
+                    "error": f"internal error: "
+                             f"{exc.__class__.__name__}: {exc}"}))
     except (ConnectionResetError, BrokenPipeError):
         pass  # client went away mid-stream; flights keep running
     finally:
+        if connections is not None and task is not None:
+            connections.discard(task)
         writer.close()
         # CancelledError included: the loop may tear this handler down
         # while the transport drains; the close is already issued.
@@ -559,11 +852,48 @@ class ServerHandle:
     bound: Tuple = field(default_factory=tuple)
     #: The telemetry sampler task (only when telemetry is enabled).
     monitor: Optional[asyncio.Task] = None
+    #: Live connection-handler tasks (drain cancels stragglers).
+    connections: Set[asyncio.Task] = field(default_factory=set)
 
     async def close(self) -> None:
         self.server.close()
         await self.server.wait_closed()
         await self.service.drain()
+        if self.monitor is not None:
+            self.monitor.cancel()
+            with contextlib.suppress(asyncio.CancelledError):
+                await self.monitor
+
+    async def drain(self, drain_seconds: float = DEFAULT_DRAIN_SECONDS
+                    ) -> None:
+        """Graceful shutdown: stop accepting, finish what's in flight.
+
+        New traces are refused with a structured ``draining`` error the
+        moment this starts; already-admitted streams get
+        ``drain_seconds`` to run to completion, after which any
+        stragglers are cancelled (their subscribers receive a
+        ``trace cancelled (shutdown)`` error record rather than a
+        hang).  Idle connections are then torn down and the telemetry
+        monitor stopped.
+        """
+        self.service.draining = True
+        self.server.close()
+        try:
+            await asyncio.wait_for(self.service.drain(), drain_seconds)
+        except asyncio.TimeoutError:
+            self.service.cancel_flights()
+            await self.service.drain()
+        if self.connections:
+            # Give handlers a moment to flush their terminal records,
+            # then cancel whatever is still parked in readline().
+            done, lingering = await asyncio.wait(
+                set(self.connections), timeout=0.25)
+            for task in lingering:
+                task.cancel()
+            if lingering:
+                await asyncio.gather(*lingering, return_exceptions=True)
+        with contextlib.suppress(Exception):
+            await self.server.wait_closed()
         if self.monitor is not None:
             self.monitor.cancel()
             with contextlib.suppress(asyncio.CancelledError):
@@ -575,31 +905,39 @@ async def start_service(engine: Engine,
                         socket_path: Optional[str] = None,
                         cache_size: int = DEFAULT_CACHE_SIZE,
                         trace_tick: float = TRACE_TICK,
-                        telemetry: Optional[ServiceTelemetry] = None
+                        telemetry: Optional[ServiceTelemetry] = None,
+                        default_deadline_ms: Optional[float] = None,
+                        max_inflight: Optional[int] = None,
+                        max_queued: int = 0
                         ) -> ServerHandle:
     """Bind the daemon and return a handle (used by serve() and tests)."""
     service = TraceService(engine, cache_size=cache_size,
-                           trace_tick=trace_tick, telemetry=telemetry)
+                           trace_tick=trace_tick, telemetry=telemetry,
+                           default_deadline_ms=default_deadline_ms,
+                           max_inflight=max_inflight,
+                           max_queued=max_queued)
     shutdown = asyncio.Event()
     monitor = (asyncio.ensure_future(_telemetry_monitor(service))
                if telemetry is not None else None)
+    connections: Set[asyncio.Task] = set()
 
     def factory(reader, writer):
-        return _handle_connection(service, shutdown, reader, writer)
+        return _handle_connection(service, shutdown, reader, writer,
+                                  connections)
 
     if socket_path is not None:
         server = await asyncio.start_unix_server(factory, path=socket_path,
                                                  limit=MAX_LINE)
         return ServerHandle(service=service, server=server,
                             shutdown=shutdown, socket_path=socket_path,
-                            monitor=monitor)
+                            monitor=monitor, connections=connections)
     server = await asyncio.start_server(factory, host=host, port=port,
                                         limit=MAX_LINE)
     bound = tuple(sock.getsockname() for sock in server.sockets)
     actual_port = bound[0][1] if bound else port
     return ServerHandle(service=service, server=server, shutdown=shutdown,
                         host=host, port=actual_port, bound=bound,
-                        monitor=monitor)
+                        monitor=monitor, connections=connections)
 
 
 async def _serve_async(request: ScanRequest, host: str, port: int,
@@ -607,13 +945,21 @@ async def _serve_async(request: ScanRequest, host: str, port: int,
                        cache_size: int, trace_tick: float,
                        telemetry: Optional[ServiceTelemetry],
                        metrics_out: Optional[str],
-                       announce=print) -> TraceService:
+                       announce=print,
+                       default_deadline_ms: Optional[float] = None,
+                       max_inflight: Optional[int] = None,
+                       max_queued: int = 0,
+                       drain_seconds: float = DEFAULT_DRAIN_SECONDS
+                       ) -> TraceService:
     engine = Engine.from_request(request)
     handle = await start_service(engine, host=host, port=port,
                                  socket_path=socket_path,
                                  cache_size=cache_size,
                                  trace_tick=trace_tick,
-                                 telemetry=telemetry)
+                                 telemetry=telemetry,
+                                 default_deadline_ms=default_deadline_ms,
+                                 max_inflight=max_inflight,
+                                 max_queued=max_queued)
     if socket_path is not None:
         announce(f"flashroute-sim serve: listening on {socket_path} "
                  f"(unix), space {engine.address_space()}")
@@ -621,10 +967,23 @@ async def _serve_async(request: ScanRequest, host: str, port: int,
         announce(f"flashroute-sim serve: listening on "
                  f"{handle.host}:{handle.port}, space "
                  f"{engine.address_space()}")
+    loop = asyncio.get_running_loop()
+    sigterm_installed = False
+    try:
+        # SIGTERM triggers the same graceful drain as the ``shutdown``
+        # control op.  Unavailable on some platforms/loops — degrade to
+        # default signal handling rather than refuse to serve.
+        loop.add_signal_handler(signal.SIGTERM, handle.shutdown.set)
+        sigterm_installed = True
+    except (NotImplementedError, RuntimeError, ValueError):
+        pass
     try:
         await handle.shutdown.wait()
     finally:
-        await handle.close()
+        if sigterm_installed:
+            with contextlib.suppress(Exception):
+                loop.remove_signal_handler(signal.SIGTERM)
+        await handle.drain(drain_seconds)
         if telemetry is not None:
             if metrics_out is not None:
                 telemetry.save(metrics_out, handle.service)
@@ -639,8 +998,12 @@ def serve(request: Optional[ScanRequest] = None, *,
           trace_tick: float = TRACE_TICK,
           telemetry: Optional[ServiceTelemetry] = None,
           metrics_out: Optional[str] = None,
-          announce=print) -> TraceService:
-    """Run the daemon until a ``shutdown`` control op (or ^C).
+          announce=print,
+          default_deadline_ms: Optional[float] = None,
+          max_inflight: Optional[int] = None,
+          max_queued: int = 0,
+          drain_seconds: float = DEFAULT_DRAIN_SECONDS) -> TraceService:
+    """Run the daemon until a ``shutdown`` control op, SIGTERM, or ^C.
 
     ``request`` describes the warm engine (topology size/seed and route
     cache mode); trace-irrelevant scan fields are ignored.  Returns the
@@ -648,9 +1011,20 @@ def serve(request: Optional[ScanRequest] = None, *,
     shutdown.  ``telemetry`` enables the service observability bundle
     (request tracing, latency histograms, the ``metrics``/``health``
     ops); ``metrics_out`` persists its final snapshot on shutdown.
+
+    Hardening knobs: ``default_deadline_ms`` bounds every request that
+    does not carry its own ``deadline_ms``; ``max_inflight`` /
+    ``max_queued`` admit that many concurrent trace streams and shed
+    the rest with structured ``overloaded`` errors; ``drain_seconds``
+    bounds the graceful-shutdown window before in-flight traces are
+    cancelled.
     """
     if request is None:
         request = ScanRequest()
     return asyncio.run(_serve_async(request, host, port, socket_path,
                                     cache_size, trace_tick, telemetry,
-                                    metrics_out, announce))
+                                    metrics_out, announce,
+                                    default_deadline_ms=default_deadline_ms,
+                                    max_inflight=max_inflight,
+                                    max_queued=max_queued,
+                                    drain_seconds=drain_seconds))

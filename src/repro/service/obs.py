@@ -35,10 +35,16 @@ from ..obs.metrics import MetricsRegistry
 from ..obs.trace import ScanTracer
 
 #: Outcome classes a completed request is binned into.  ``cancelled``
-#: covers clients that disconnected before their terminal record — it
-#: keeps the coherence identity exact:
-#: ``requests == fresh + hit + coalesced + error + cancelled``.
-OUTCOMES = ("fresh", "hit", "coalesced", "error", "cancelled")
+#: covers clients that disconnected before their terminal record;
+#: ``deadline`` requests ran out of their ``deadline_ms`` budget;
+#: ``shed`` requests were refused by admission control (overload or
+#: drain) without being served.  The coherence identity stays exact:
+#: ``requests == fresh + hit + coalesced + error + cancelled +
+#: deadline + shed``.  Histogram counters are created lazily, so a
+#: daemon that never sheds or deadlines snapshots byte-identically to
+#: one built before these outcomes existed.
+OUTCOMES = ("fresh", "hit", "coalesced", "error", "cancelled",
+            "deadline", "shed")
 
 #: Default wall-latency threshold beyond which a request enters the
 #: slow-request log.
@@ -100,6 +106,10 @@ def classify_slow_cause(outcome: str, probes: int) -> str:
         return "cache_replay"
     if outcome == "cancelled":
         return "client_disconnect"
+    if outcome == "deadline":
+        return "deadline_exceeded"
+    if outcome == "shed":
+        return "overload_shed"
     return "probe_count" if probes > PROBE_COUNT_THRESHOLD \
         else "cache_miss"
 
@@ -311,6 +321,14 @@ class ServiceTelemetry:
         """Fold a completed flight's probe train into the registry (the
         flight, not its subscribers, owns the probes)."""
         self.registry.inc("service.probes.sent", probes)
+
+    def record_shed(self, reason: str) -> None:
+        """Count one admission refusal under ``service.shed.<reason>``
+        (``overloaded`` at the in-flight/queue gate, ``draining``
+        during graceful shutdown).  Counters appear lazily — a daemon
+        that never sheds carries no ``service.shed.*`` keys."""
+        self.registry.inc("service.shed.total")
+        self.registry.inc(f"service.shed.{reason}")
 
     # -- loop health and rates --------------------------------------------
 

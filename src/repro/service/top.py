@@ -18,7 +18,8 @@ from typing import Dict, List, Optional, TextIO, Tuple
 from .client import DaemonClient
 
 #: Outcome rows the latency panel shows, in display order.
-_PANEL_OUTCOMES = ("fresh", "hit", "coalesced", "error", "cancelled")
+_PANEL_OUTCOMES = ("fresh", "hit", "coalesced", "error", "cancelled",
+                   "deadline", "shed")
 
 #: ANSI: cursor home + clear screen (the in-place redraw).
 _CLEAR = "\x1b[H\x1b[2J"

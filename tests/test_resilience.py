@@ -314,6 +314,56 @@ class TestCheckpointFiles:
             load_checkpoint(str(path))
 
 
+class TestAtomicCheckpointWrite:
+    """``write_checkpoint`` is tmp-file-then-rename: a crash mid-write
+    can truncate the temp file, never the checkpoint itself."""
+
+    STATE = {"engine": "flashroute", "clock": 1.25, "result": {}}
+
+    def test_no_tmp_file_left_behind(self, tmp_path):
+        path = tmp_path / "scan.ckpt"
+        write_checkpoint(str(path), "flashroute", self.STATE)
+        assert path.exists()
+        assert not (tmp_path / "scan.ckpt.tmp").exists()
+
+    def test_failed_write_preserves_previous_checkpoint(self, tmp_path,
+                                                        monkeypatch):
+        import os as os_module
+
+        from repro.core import resilience
+
+        path = tmp_path / "scan.ckpt"
+        write_checkpoint(str(path), "flashroute", self.STATE)
+        good = path.read_bytes()
+
+        # A crash between the tmp write and the rename (the fsync here)
+        # must leave the previous checkpoint byte-identical and clean
+        # up the truncated tmp file.
+        def exploding_fsync(fd):
+            raise OSError("disk full")
+
+        monkeypatch.setattr(resilience.os, "fsync", exploding_fsync)
+        with pytest.raises(OSError, match="disk full"):
+            write_checkpoint(str(path), "flashroute",
+                             dict(self.STATE, clock=9.0))
+        monkeypatch.setattr(resilience.os, "fsync", os_module.fsync)
+        assert path.read_bytes() == good
+        assert load_checkpoint(str(path))["state"] == self.STATE
+        assert not (tmp_path / "scan.ckpt.tmp").exists()
+
+    def test_truncated_tmp_does_not_break_load_or_next_write(
+            self, tmp_path):
+        path = tmp_path / "scan.ckpt"
+        write_checkpoint(str(path), "flashroute", self.STATE)
+        # Simulate a crash that left a half-written temp file around.
+        (tmp_path / "scan.ckpt.tmp").write_text('{"format": "flashro')
+        assert load_checkpoint(str(path))["state"] == self.STATE
+        write_checkpoint(str(path), "flashroute",
+                         dict(self.STATE, clock=2.5))
+        assert load_checkpoint(str(path))["state"]["clock"] == 2.5
+        assert not (tmp_path / "scan.ckpt.tmp").exists()
+
+
 # --------------------------------------------------------------------- #
 # Interrupt + resume equals uninterrupted (engine level)
 # --------------------------------------------------------------------- #
